@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts the paper's qualitative bands, and writes the rendered rows or
+series to ``benchmarks/out/<name>.txt`` so the regenerated artifacts
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a rendered table/series for one experiment."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one full experiment run (no repetition: these are long)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

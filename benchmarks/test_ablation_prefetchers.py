@@ -1,0 +1,92 @@
+"""Ablation: prefetch policies on the Kona fetch path.
+
+Page faults forbid prefetching in page-based systems; Kona's fault-free
+path re-enables it (paper sections 3 and 4.4).  This ablation compares
+the policies — none, next-page, constant-stride, and Leap's
+majority-trend (the paper's reference [57]) — across sequential,
+strided, and random page-access patterns.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_report
+import repro.common.units as u
+from repro.analysis import render_table
+from repro.cluster.memnode import MemoryNode
+from repro.fpga.agent import MemoryAgent
+from repro.fpga.fmem import FMemCache
+from repro.fpga.prefetcher import PREFETCHERS, make_prefetcher
+from repro.fpga.translation import RemoteTranslationMap
+from repro.mem.address import AddressRange
+from repro.net.fabric import Fabric
+
+PAGES = 192
+
+
+def _agent(policy):
+    vfmem = AddressRange(0, 16 * u.MB)
+    fabric = Fabric()
+    node = MemoryNode("m0", 64 * u.MB, fabric, slab_bytes=16 * u.MB)
+    tmap = RemoteTranslationMap(0, 16 * u.MB)
+    tmap.bind(0, node.grant_slab())
+    return MemoryAgent(vfmem, FMemCache(8 * u.MB), tmap,
+                       prefetcher=make_prefetcher(policy))
+
+
+def _patterns(rng):
+    sequential = np.arange(PAGES)
+    strided = np.arange(PAGES) * 3 % (16 * u.MB // u.PAGE_4K)
+    random = rng.permutation(16 * u.MB // u.PAGE_4K)[:PAGES]
+    return {"sequential": sequential, "strided": strided, "random": random}
+
+
+def _run():
+    rng = np.random.default_rng(3)
+    patterns = _patterns(rng)
+    out = {}
+    for policy in PREFETCHERS:
+        out[policy] = {}
+        for name, pages in patterns.items():
+            agent = _agent(policy)
+            stall = 0.0
+            for page in pages.tolist():
+                agent.directory.get_shared(int(page) * u.PAGE_4K, 1)
+                stall += agent.last_access_ns
+            out[policy][name] = {
+                "stall_us": stall / 1000,
+                "prefetched": agent.counters["pages_prefetched"],
+            }
+    return out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_prefetch_policies(benchmark):
+    result = run_once(benchmark, _run)
+
+    rows = []
+    for policy, per_pattern in result.items():
+        for pattern, stats in per_pattern.items():
+            rows.append((policy, pattern, round(stats["stall_us"], 1),
+                         stats["prefetched"]))
+    write_report("ablation_prefetch_policies", render_table(
+        ["policy", "pattern", "stall us", "pages prefetched"], rows,
+        title="Ablation: prefetch policies by access pattern"))
+
+    none = result["none"]
+    # Sequential: every prefetcher beats no-prefetch decisively.
+    for policy in ("next-page", "stride", "leap"):
+        assert (result[policy]["sequential"]["stall_us"]
+                < 0.5 * none["sequential"]["stall_us"]), policy
+    # Strided: only stride-aware policies help; next-page fetches the
+    # wrong neighbours.
+    assert (result["stride"]["strided"]["stall_us"]
+            < 0.6 * none["strided"]["stall_us"])
+    assert (result["leap"]["strided"]["stall_us"]
+            < 0.6 * none["strided"]["stall_us"])
+    assert (result["next-page"]["strided"]["stall_us"]
+            > 0.9 * none["strided"]["stall_us"])
+    # Random: nothing helps, and no policy should do real damage.
+    for policy in PREFETCHERS:
+        assert (result[policy]["random"]["stall_us"]
+                > 0.85 * none["random"]["stall_us"]), policy

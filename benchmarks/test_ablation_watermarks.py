@@ -1,0 +1,74 @@
+"""Ablation: watermark-driven proactive eviction.
+
+The paper's Eviction Handler "monitors the cache utilization and
+evicts pages to make room for new remote pages" (section 4.1).  This
+ablation compares demand-only eviction (a victim is chosen while the
+fetch waits) against proactive watermark reclaim (a background tick
+keeps occupancy below the high watermark), measuring FMem occupancy
+discipline and the work done by the background reclaimer.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_report
+import repro.common.units as u
+from repro.analysis import render_table
+from repro.kona import KonaConfig, KonaRuntime
+from repro.workloads.synthetic import one_line_per_page
+
+REGION = 24 * u.MB
+FMEM = 8 * u.MB
+
+
+def _run():
+    out = {}
+    for mode, (low, high) in (("demand-only", (1.0, 1.0)),
+                              ("watermarks", (0.70, 0.85))):
+        config = KonaConfig(fmem_capacity=FMEM,
+                            vfmem_capacity=64 * u.MB,
+                            slab_bytes=16 * u.MB,
+                            evict_low_watermark=low,
+                            evict_high_watermark=high)
+        rt = KonaRuntime(config)
+        region = rt.mmap(REGION)
+        addrs, writes = one_line_per_page(REGION, base=region.start)[0]
+        report = rt.run_trace(addrs, writes)
+        occupancy = rt.fmem.occupancy_fraction
+        rt.flush()     # drain everything so conservation can be checked
+        out[mode] = {
+            "elapsed_ms": report.elapsed_ns / 1e6,
+            "occupancy_frac": occupancy,
+            "proactive": rt.agent.counters["proactive_reclaims"],
+            "demand_evictions": rt.fmem.counters["evictions"],
+            "dirty_bytes": rt.eviction.stats.dirty_bytes,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_watermark_eviction(benchmark):
+    result = run_once(benchmark, _run)
+
+    rows = [(mode, round(s["elapsed_ms"], 2),
+             round(s["occupancy_frac"], 3), s["proactive"],
+             s["demand_evictions"]) for mode, s in result.items()]
+    write_report("ablation_watermarks", render_table(
+        ["mode", "elapsed ms", "final occupancy", "proactive reclaims",
+         "demand evictions"], rows,
+        title="Ablation: demand vs watermark eviction"))
+
+    demand = result["demand-only"]
+    marks = result["watermarks"]
+    # The reclaimer actually runs, and keeps occupancy at/below the
+    # high watermark while demand-only sits at ~full.
+    assert marks["proactive"] > 0
+    assert demand["proactive"] == 0
+    # Between reclaimer ticks a burst of fills can overshoot the high
+    # watermark slightly; the discipline bound includes that slack.
+    assert marks["occupancy_frac"] <= 0.92
+    assert demand["occupancy_frac"] > 0.95
+    # After a full drain, the same dirty data shipped either way
+    # (conservation: proactive reclaim changes *when*, not *what*).
+    assert marks["dirty_bytes"] == demand["dirty_bytes"]
+    assert marks["dirty_bytes"] == (REGION // u.PAGE_4K) * u.CACHE_LINE

@@ -1,0 +1,31 @@
+"""Figure 10: speedup relative to write-protection (section 6.3).
+
+Coherence-based tracking removes write-protect faults and protect
+rounds from the application; the resulting speedup ranges from 1%
+(Redis-Seq, Histogram) to 35% (Redis-Rand).
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_speedup_vs_write_protect(benchmark):
+    result = run_once(benchmark, run_fig10)
+
+    rows = [(name, round(pct, 1)) for name, pct in result.rows()]
+    text = render_table(["workload", "speedup %"], rows,
+                        title="Figure 10: speedup relative to "
+                              "write-protection")
+    write_report("fig10_tracking_speedup", text)
+
+    for name, band in paper.FIG10_SPEEDUP_PCT.items():
+        assert paper.within(result.speedup_pct[name], band), name
+    # Range claim: 1% (redis-seq/histogram) to 35% (redis-rand).
+    assert result.max_workload() == "redis-rand"
+    assert 30.0 <= result.speedup_pct["redis-rand"] <= 38.0
+    assert result.speedup_pct["redis-seq"] <= 3.0
+    assert result.speedup_pct["histogram"] <= 3.0

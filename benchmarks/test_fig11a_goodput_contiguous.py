@@ -1,0 +1,42 @@
+"""Figure 11(a): eviction goodput, contiguous dirty lines (section 6.4).
+
+Kona's CL log vs Kona-VM's 4 KB writes plus the two idealized no-copy
+baselines: 4-5X advantage for 1-4 contiguous lines, parity at a fully
+dirty page, the ideal 4 KB path a constant ~1.5X over Kona-VM.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_contiguous_goodput(benchmark):
+    result = run_once(benchmark, run_fig11, pattern="contiguous")
+
+    strategies = sorted(result.relative_goodput)
+    rows = [(n, *(round(v, 2) for v in vals))
+            for n, *vals in result.rows()]
+    text = render_table(["dirty lines", *strategies], rows,
+                        title="Figure 11a: goodput relative to Kona-VM "
+                              "(contiguous)")
+    write_report("fig11a_goodput_contiguous", text)
+
+    kona = dict(result.series("kona-cl-log"))
+    for n in (1, 2, 4):
+        assert paper.within(kona[n], paper.FIG11A_CONTIG_1_4), n
+    assert paper.within(kona[64], paper.FIG11A_FULL_PAGE_PAR)
+    # Kona never loses on contiguous patterns.
+    assert min(kona.values()) >= 0.9
+
+    ideal4k = dict(result.series("ideal-4k-nocopy"))
+    for n, ratio in ideal4k.items():
+        assert paper.within(ratio, paper.FIG11_IDEAL_4K), n
+
+    # Ideal CL writes beat everything for a few contiguous lines but
+    # fall back toward the page path as the page fills.
+    ideal_cl = dict(result.series("ideal-cl-nocopy"))
+    assert ideal_cl[1] > kona[1]
+    assert ideal_cl[64] < ideal_cl[1] / 3

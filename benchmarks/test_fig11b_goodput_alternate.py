@@ -1,0 +1,37 @@
+"""Figure 11(b): eviction goodput, alternate (random) dirty lines.
+
+Kona's CL log keeps a 2-3X advantage for 2-4 discontiguous lines and
+only loses to page writes beyond ~16 discontiguous dirty lines; the
+ideal per-line writes collapse much earlier (many small WRs).
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_alternate_goodput(benchmark):
+    result = run_once(benchmark, run_fig11, pattern="alternate")
+
+    strategies = sorted(result.relative_goodput)
+    rows = [(n, *(round(v, 2) for v in vals))
+            for n, *vals in result.rows()]
+    text = render_table(["dirty lines", *strategies], rows,
+                        title="Figure 11b: goodput relative to Kona-VM "
+                              "(alternate)")
+    write_report("fig11b_goodput_alternate", text)
+
+    kona = dict(result.series("kona-cl-log"))
+    for n in (2, 4):
+        assert paper.within(kona[n], paper.FIG11B_ALT_2_4), n
+    # Loses only past 16 discontiguous lines.
+    assert kona[16] >= 0.85
+    assert kona[32] < 1.0
+
+    ideal_cl = dict(result.series("ideal-cl-nocopy"))
+    # Per-line writes collapse before the CL log does.
+    assert ideal_cl[16] < kona[16]
+    assert ideal_cl[32] < kona[32]

@@ -1,0 +1,40 @@
+"""Figure 11(c): CL-log eviction time breakdown (section 6.4).
+
+At application-typical dirty densities, most of the time goes to
+copying lines into the RDMA buffer, with 15-20% each on the bitmap
+scan and the RDMA writes and a small acknowledgment wait.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig11c_breakdown
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11c_time_breakdown(benchmark):
+    breakdown = run_once(benchmark, run_fig11c_breakdown)
+
+    buckets = ("bitmap", "copy", "rdma_write", "ack_wait")
+    rows = []
+    for n, shares in sorted(breakdown.items()):
+        rows.append((n, *(round(shares.get(b, 0.0), 3) for b in buckets),
+                     round(shares["total_ms"], 2)))
+    text = render_table(
+        ["dirty lines", *buckets, "total ms"], rows,
+        title="Figure 11c: Kona CL-log eviction time breakdown")
+    write_report("fig11c_breakdown", text)
+
+    # The paper's shares, checked at the mid density (8 lines/page).
+    shares = breakdown[8]
+    for bucket, band in paper.FIG11C_BANDS.items():
+        assert paper.within(shares[bucket], band), bucket
+    # Copy dominates at the typical densities.
+    for n in (1, 8):
+        shares = breakdown[n]
+        assert shares["copy"] == max(
+            shares[b] for b in buckets if b in shares)
+    # Total time grows with dirty data volume.
+    totals = [breakdown[n]["total_ms"] for n in sorted(breakdown)]
+    assert totals == sorted(totals)

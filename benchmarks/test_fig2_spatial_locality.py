@@ -1,0 +1,56 @@
+"""Figure 2: CDF of accessed cache lines per page (Redis).
+
+Redis-Rand is skewed toward pages with 1-8 accessed lines; Redis-Seq
+toward fully-accessed pages; both modes appear in both workloads.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import render_series
+from repro.tools.pintool import lines_per_page_cdf
+from repro.workloads import redis_rand, redis_seq
+from repro.workloads.trace import Trace
+
+
+def _steady(workload, windows=5, seed=0):
+    trace = workload.generate(windows=windows, seed=seed)
+    mask = trace.windows >= workload.startup_windows
+    return Trace(trace.data[mask], trace.memory_bytes, trace.name)
+
+
+def _run():
+    out = {}
+    for factory in (redis_rand, redis_seq):
+        wl = factory()
+        trace = _steady(wl)
+        out[wl.name] = {
+            "reads": lines_per_page_cdf(trace, writes=False),
+            "writes": lines_per_page_cdf(trace, writes=True),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_accessed_lines_cdf(benchmark):
+    cdfs = run_once(benchmark, _run)
+
+    lines = []
+    for workload, curves in cdfs.items():
+        for kind, cdf in curves.items():
+            series = [(n, round(frac, 3)) for n, frac in cdf.series()]
+            lines.append(render_series(
+                series, "lines/page", "CDF",
+                title=f"Figure 2 — {workload} ({kind})"))
+    write_report("fig2_spatial_locality", "\n\n".join(lines))
+
+    rand_w = cdfs["redis-rand"]["writes"]
+    seq_w = cdfs["redis-seq"]["writes"]
+    # Rand: overwhelmingly 1-8 lines per page.
+    assert rand_w.at(8) > 0.9
+    # Seq: bimodal with a large fully-written mode.
+    assert 1.0 - seq_w.at(63) > 0.15
+    assert seq_w.at(16) > 0.3
+    # Reads show the same split.
+    assert cdfs["redis-rand"]["reads"].at(8) > 0.8
+    assert 1.0 - cdfs["redis-seq"]["reads"].at(63) > 0.25

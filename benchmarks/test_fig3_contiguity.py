@@ -1,0 +1,52 @@
+"""Figure 3: CDF of contiguous accessed cache lines per page (Redis).
+
+Most segments are 1-4 lines for both workloads; Redis-Seq additionally
+has a page-length (64-line) segment mode.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import render_series
+from repro.tools.pintool import segment_length_cdf
+from repro.workloads import redis_rand, redis_seq
+from repro.workloads.trace import Trace
+
+
+def _run():
+    out = {}
+    for factory in (redis_rand, redis_seq):
+        wl = factory()
+        trace = wl.generate(windows=5, seed=0)
+        mask = trace.windows >= wl.startup_windows
+        steady = Trace(trace.data[mask], trace.memory_bytes, trace.name)
+        out[wl.name] = {
+            "reads": segment_length_cdf(steady, writes=False),
+            "writes": segment_length_cdf(steady, writes=True),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_contiguous_segments_cdf(benchmark):
+    cdfs = run_once(benchmark, _run)
+
+    blocks = []
+    for workload, curves in cdfs.items():
+        for kind, cdf in curves.items():
+            series = [(n, round(frac, 3)) for n, frac in cdf.series()]
+            blocks.append(render_series(
+                series, "segment lines", "CDF",
+                title=f"Figure 3 — {workload} ({kind})"))
+    write_report("fig3_contiguity", "\n\n".join(blocks))
+
+    # "Most segments are of length 1 to 4 contiguous cache-lines for
+    # both workloads."
+    assert cdfs["redis-rand"]["writes"].at(4) > 0.75
+    assert cdfs["redis-seq"]["writes"].at(4) > 0.5
+    # "For Redis-Seq, a large fraction of the segments are page-length."
+    seq = cdfs["redis-seq"]["writes"]
+    assert 1.0 - seq.at(63) > 0.1
+    # "For Redis-Rand, contiguous segments are short."
+    rand = cdfs["redis-rand"]["writes"]
+    assert 1.0 - rand.at(8) < 0.05

@@ -1,0 +1,38 @@
+"""Figure 7: Kona vs Kona-VM microbenchmark (section 6.1).
+
+Read+write one cache line per page, per-thread regions, 50% local
+cache, eviction concurrent.  Paper: Kona is 6.6X faster at 1 thread,
+4-5X at 2-4 threads; NoEvict variants differ 3-5X; NoWP (incomplete)
+is still 1.2-2.9X slower than Kona.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig7
+import repro.common.units as u
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_kona_vs_kona_vm(benchmark):
+    result = run_once(benchmark, run_fig7, region_bytes=16 * u.MB)
+
+    rows = [(s, t, round(sec, 4)) for s, t, sec in result.rows()]
+    text = render_table(["system", "threads", "time (s)"], rows,
+                        title="Figure 7: microbenchmark execution time "
+                              "(16 MB/thread scale)")
+    speedups = render_table(
+        ["threads", "kona vs kona-vm"],
+        [(t, round(result.speedup(t), 2)) for t in (1, 2, 4)],
+        title="Speedups")
+    write_report("fig7_microbenchmark", text + "\n\n" + speedups)
+
+    for threads, band in paper.FIG7_SPEEDUP.items():
+        assert paper.within(result.speedup(threads), band), threads
+    assert paper.within(result.noevict_speedup(), paper.FIG7_NOEVICT_SPEEDUP)
+    assert paper.within(result.nowp_slowdown(), paper.FIG7_NOWP_SLOWDOWN)
+    # Total work grows with threads for every system (paper's x-axis).
+    for system, per_thread in result.times_ns.items():
+        times = [per_thread[t] for t in sorted(per_thread)]
+        assert times == sorted(times), system

@@ -1,0 +1,58 @@
+"""Figure 8(a-c): AMAT vs local cache size (section 6.2).
+
+At a 25% local cache, Kona's AMAT is ~1.7X lower than LegoOS and ~5X
+lower than Infiniswap; Linear Regression's streaming pattern makes its
+curve flat; Kona-main bounds the FMem NUMA overhead (2-25%).
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig8_amat
+from repro.experiments.fig8 import SYSTEMS
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_amat_vs_cache_size(benchmark):
+    result = run_once(benchmark, run_fig8_amat, num_ops=40_000)
+
+    blocks = []
+    for workload in result.amat_ns:
+        rows = [(pct, *(round(v, 1) for v in vals))
+                for pct, *vals in result.rows(workload)]
+        blocks.append(render_table(
+            ["cache %", *SYSTEMS], rows,
+            title=f"Figure 8 — {workload}: AMAT (ns)"))
+    write_report("fig8_amat", "\n\n".join(blocks))
+
+    # Headline: Kona vs LegoOS / Infiniswap at a 25% cache.
+    for workload in ("redis-rand", "graph-coloring"):
+        lego = result.improvement_at(workload, 0.25, "legoos")
+        swap = result.improvement_at(workload, 0.25, "infiniswap")
+        assert paper.within(lego, paper.FIG8_KONA_VS_LEGOOS_AT_25), workload
+        assert paper.within(swap, paper.FIG8_KONA_VS_INFINISWAP_AT_25), workload
+
+    # AMAT decreases with cache size for the reuse-ful workloads; all
+    # systems converge at a full-size cache.
+    for workload in ("redis-rand", "graph-coloring"):
+        series = result.amat_ns[workload]["legoos"]
+        fractions = sorted(series)
+        values = [series[f] for f in fractions]
+        assert values == sorted(values, reverse=True), workload
+        conv = result.improvement_at(workload, 1.0, "legoos")
+        assert conv < 1.5
+
+    # Linear Regression: flat (streaming, no reuse) past a small cache.
+    linreg = result.amat_ns["linear-regression"]["kona"]
+    nonzero = [linreg[f] for f in sorted(linreg) if f > 0]
+    assert (max(nonzero) - min(nonzero)) / max(nonzero) < 0.2
+
+    # NUMA overhead of caching in FMem (Kona vs Kona-main): worst for
+    # Linear Regression (paper: 25%), small for the others (2-13%).
+    worst = result.numa_overhead("linear-regression", 0.25)
+    assert paper.within(worst, paper.FIG8_KONA_MAIN_NUMA_OVERHEAD)
+    for workload in ("redis-rand", "graph-coloring"):
+        overhead = result.numa_overhead(workload, 0.25)
+        assert 0.0 <= overhead <= 0.15, workload
+        assert overhead < worst

@@ -1,0 +1,37 @@
+"""Figure 8(d): data-fetch block-size sweep (section 6.2).
+
+Small blocks waste the applications' spatial locality; very large
+blocks add conflict misses and wire time.  The paper found 1 KB best
+with 4 KB close behind (which Kona adopts to simplify metadata).
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import paper, render_table
+from repro.experiments import run_fig8d_blocksize
+from repro.experiments.fig8 import best_block
+import repro.common.units as u
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8d_block_size_sweep(benchmark):
+    sweep = run_once(benchmark, run_fig8d_blocksize, num_ops=40_000)
+
+    blocks = sorted(next(iter(sweep.values())))
+    rows = [(b, *(round(sweep[f][b], 1) for f in sorted(sweep)))
+            for b in blocks]
+    text = render_table(
+        ["block B", *(f"cache {int(f*100)}%" for f in sorted(sweep))],
+        rows, title="Figure 8d — Redis-Rand: AMAT (ns) by fetch block size")
+    write_report("fig8d_blocksize", text)
+
+    for fraction in (0.27, 0.54):
+        series = sweep[fraction]
+        # 1 KB is the sweet spot; 4 KB within a small margin.
+        assert best_block(series) == paper.FIG8D_BEST_BLOCK
+        assert series[4096] / series[1024] < 1.35
+        # Line-sized blocks miss spatial locality; 32 KB blocks pay
+        # conflicts + wire time.
+        assert series[64] > series[1024]
+        assert series[32 * u.KB] > series[4096]

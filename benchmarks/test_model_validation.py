@@ -1,0 +1,55 @@
+"""Model validation: the closed-form Figure 11 cost model vs the DES.
+
+The benchmark harness prices eviction with a closed-form model
+(posting + exposed wire + flow-control floor).  This benchmark runs
+the discrete-event pipeline — producer, NIC, receiver with ring
+credits, all as events — across the dirty-density sweep and checks the
+closed form tracks it, including the producer->receiver bottleneck
+flip.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import render_table
+from repro.baselines.eviction_strategies import kona_cl_log
+from repro.kona.pipeline import EvictionPipeline
+
+DENSITIES = (1, 2, 4, 8, 16, 32, 55)
+PAGES = 4096
+
+
+def _run():
+    pipe = EvictionPipeline()
+    rows = []
+    for n in DENSITIES:
+        des = pipe.run(PAGES, n)
+        closed = kona_cl_log(PAGES, n)
+        rows.append({
+            "n": n,
+            "des_ms": des.elapsed_ns / 1e6,
+            "closed_ms": closed.total_ns / 1e6,
+            "ratio": closed.total_ns / des.elapsed_ns,
+            "bottleneck": des.bottleneck,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="validation")
+def test_closed_form_vs_des(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = [(r["n"], round(r["des_ms"], 2), round(r["closed_ms"], 2),
+              round(r["ratio"], 2), r["bottleneck"]) for r in rows]
+    write_report("model_validation", render_table(
+        ["dirty lines", "DES ms", "closed-form ms", "ratio", "bottleneck"],
+        table, title="Eviction model validation: DES vs closed form"))
+
+    for r in rows:
+        assert 0.95 <= r["ratio"] <= 1.35, r
+    # The bottleneck flips from producer to receiver as pages fill.
+    assert rows[0]["bottleneck"] == "producer"
+    assert rows[-1]["bottleneck"] == "receiver"
+    flips = sum(1 for a, b in zip(rows, rows[1:])
+                if a["bottleneck"] != b["bottleneck"])
+    assert flips == 1

@@ -1,0 +1,94 @@
+"""Robustness checks: the reproduced results are not knife-edge.
+
+Two ways a calibrated model can lie: the result only holds at the one
+fitted operating point, or only for the committed RNG seed.  These
+benchmarks vary both and assert the paper's *comparative* conclusions
+survive.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+import repro.common.units as u
+from repro.analysis import paper, render_table
+from repro.experiments import run_table2
+from repro.tools.kcachesim import KCacheSim
+from repro.workloads.amat import AmatSpec, redis_rand_spec
+
+
+def _hot_sensitivity():
+    """Kona-vs-LegoOS AMAT ratio across hot-access mixes."""
+    out = {}
+    for hot in (100.0, 220.0, 300.0, 600.0):
+        base = redis_rand_spec(data_bytes=16 * u.MB)
+        spec = AmatSpec(name=base.name, data_bytes=base.data_bytes,
+                        op_span_lines=base.op_span_lines,
+                        reuse=base.reuse,
+                        write_fraction=base.write_fraction,
+                        hot_per_data_access=hot)
+        run = KCacheSim(spec).run(0.25, num_ops=25_000)
+        out[hot] = {
+            "kona_ns": run.amat_ns("kona"),
+            "ratio_legoos": run.amat_ns("legoos") / run.amat_ns("kona"),
+            "ratio_infiniswap": (run.amat_ns("infiniswap")
+                                 / run.amat_ns("kona")),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_hot_mix_sensitivity(benchmark):
+    """The AMAT *ratios* barely move when the hot mix changes 6X."""
+    result = run_once(benchmark, _hot_sensitivity)
+
+    rows = [(hot, round(s["kona_ns"], 1), round(s["ratio_legoos"], 2),
+             round(s["ratio_infiniswap"], 2))
+            for hot, s in sorted(result.items())]
+    write_report("robustness_hot_mix", render_table(
+        ["hot/data", "kona AMAT ns", "vs legoos", "vs infiniswap"], rows,
+        title="Robustness: AMAT ratios across hot-access mixes"))
+
+    # Absolute AMAT scales with the mix (by design), and a hotter mix
+    # dilutes the remote component, compressing the ratios toward 1...
+    amats = [result[h]["kona_ns"] for h in sorted(result)]
+    assert amats[0] > amats[-1]
+    ratios = [result[h]["ratio_legoos"] for h in sorted(result)]
+    assert ratios == sorted(ratios, reverse=True)
+    # ...but the comparative conclusion survives a 6X mix change: Kona
+    # stays well ahead of both baselines at every operating point.
+    for s in result.values():
+        assert s["ratio_legoos"] > 1.4
+        assert s["ratio_infiniswap"] > 3.5
+
+
+def _seed_stability():
+    out = {}
+    for seed in (3, 17, 91):
+        result = run_table2(workloads=("redis-rand", "histogram",
+                                       "label-propagation"),
+                            windows=5, seed=seed)
+        out[seed] = {name: result.measured[name]["4k"]
+                     for name in result.measured}
+    return out
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_table2_seed_stability(benchmark):
+    """Amplification calibration is a property of the generators, not
+    of one lucky seed."""
+    result = run_once(benchmark, _seed_stability)
+
+    workloads = sorted(next(iter(result.values())))
+    rows = [(seed, *(round(result[seed][w], 2) for w in workloads))
+            for seed in sorted(result)]
+    write_report("robustness_seeds", render_table(
+        ["seed", *workloads], rows,
+        title="Robustness: Table 2 (4KB) across seeds"))
+
+    for workload in workloads:
+        values = [result[seed][workload] for seed in result]
+        spread = (max(values) - min(values)) / min(values)
+        assert spread < 0.15, (workload, values)
+        ref = paper.TABLE2[workload].amp_4k
+        for value in values:
+            assert abs(value - ref) / ref < 0.35, (workload, value)

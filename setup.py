@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to the legacy
+develop install through this file when PEP 660 editable builds are
+unavailable (offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro: a reproduction of "Rethinking Software Runtimes for
+Disaggregated Memory" (Calciu et al., ASPLOS 2021 — the Kona system)
+as a simulation-backed Python library.
+
+Public API layers:
+
+* :mod:`repro.kona` — the Kona runtime (the paper's contribution):
+  coherence-based remote memory with cache-line dirty tracking.
+* :mod:`repro.baselines` — Kona-VM, LegoOS, Infiniswap cost models and
+  the Figure 11 eviction strategies.
+* :mod:`repro.tools` — KCacheSim, KTracker, and the Pin-style trace
+  analyzer used by the evaluation.
+* :mod:`repro.workloads` — synthetic models of the paper's nine
+  application workloads.
+* Substrates: :mod:`repro.cache`, :mod:`repro.coherence`,
+  :mod:`repro.net`, :mod:`repro.vm`, :mod:`repro.mem`,
+  :mod:`repro.cluster`, :mod:`repro.fpga`.
+
+Quick start::
+
+    import repro
+
+    runtime = repro.KonaRuntime()
+    buf = runtime.mmap(16 * repro.units.MB)
+    runtime.write(buf.start, 64)          # no page fault, line-tracked
+    print(runtime.tracker.dirty_bytes_cacheline())
+"""
+
+from .common import units
+from .common.latency import DEFAULT_LATENCY, LatencyModel
+from .kona import KonaConfig, KonaRuntime
+from .workloads import WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_LATENCY",
+    "KonaConfig",
+    "KonaRuntime",
+    "LatencyModel",
+    "WORKLOADS",
+    "__version__",
+    "units",
+]

@@ -1,0 +1,15 @@
+"""Result analysis: the paper's reference numbers and report rendering."""
+
+from . import paper
+from .paper import TABLE2, Table2Row, within
+from .report import render_comparison, render_series, render_table
+
+__all__ = [
+    "TABLE2",
+    "Table2Row",
+    "paper",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "within",
+]

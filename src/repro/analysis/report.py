@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.errors import ConfigError
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Iterable[Tuple[object, object]],
+                  x_label: str, y_label: str,
+                  title: Optional[str] = None) -> str:
+    """Render an (x, y) series as two aligned columns."""
+    rows = [(x, y) for x, y in series]
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def render_comparison(measured: Dict[str, float],
+                      expected: Dict[str, object],
+                      title: Optional[str] = None) -> str:
+    """Side-by-side measured vs paper-reported values."""
+    rows = []
+    for key in measured:
+        rows.append((key, measured[key], expected.get(key, "-")))
+    return render_table(["metric", "measured", "paper"], rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,163 @@
+"""A key-value store living in Kona-managed disaggregated memory.
+
+Open-addressing hash table: a bucket array plus a bump-allocated value
+log, both in memory the runtime backs remotely.  Every probe, header
+read, and value write goes through :meth:`KonaRuntime.read`/
+:meth:`~repro.kona.KonaRuntime.write`, so the store transparently gets
+fault-free fetches, line-granularity dirty tracking, and dirty-line
+eviction — without containing a single line of remote-memory code.
+
+The simulated memory substrate carries no payload bytes, so the store
+keeps a host-side mirror of the values for correctness while all data
+*movement* happens through the runtime; the mirror is what a unit test
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common import units
+from ..common.errors import AllocationError, ConfigError
+from ..kona.runtime import KonaRuntime
+
+#: Bucket record: 8 B key hash + 8 B value address + 4 B value size.
+BUCKET_BYTES = 20
+#: Value record header preceding the payload in the value log.
+VALUE_HEADER = 8
+
+
+@dataclass
+class KVStats:
+    """Operation counters and accumulated memory-stall time."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    probes: int = 0
+    stall_ns: float = 0.0
+
+
+class RemoteKVStore:
+    """An open-addressing hash table over a Kona runtime."""
+
+    def __init__(self, runtime: KonaRuntime, capacity: int = 4096,
+                 value_log_bytes: int = 8 * units.MB) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ConfigError("capacity must be a positive power of two")
+        self.runtime = runtime
+        self.capacity = capacity
+        self._buckets = runtime.mmap(capacity * BUCKET_BYTES)
+        self._log = runtime.mmap(value_log_bytes)
+        self._log_head = self._log.start
+        # Host-side shadow state: slot occupancy and value mirror.
+        self._slots: Dict[int, str] = {}       # slot -> key
+        self._values: Dict[str, bytes] = {}
+        self._value_addr: Dict[str, int] = {}
+        self.stats = KVStats()
+
+    # -- hashing -------------------------------------------------------------------
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        h = 14695981039346656037
+        for ch in key.encode():
+            h = ((h ^ ch) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+        return h
+
+    def _bucket_addr(self, slot: int) -> int:
+        return self._buckets.start + slot * BUCKET_BYTES
+
+    def _find_slot(self, key: str, for_insert: bool) -> Optional[int]:
+        """Linear probing; each probe reads the bucket record remotely."""
+        slot = self._hash(key) & (self.capacity - 1)
+        for _ in range(self.capacity):
+            self.stats.probes += 1
+            self.stats.stall_ns += self.runtime.read(
+                self._bucket_addr(slot), BUCKET_BYTES)
+            occupant = self._slots.get(slot)
+            if occupant is None:
+                return slot if for_insert else None
+            if occupant == key:
+                return slot
+            slot = (slot + 1) & (self.capacity - 1)
+        return None
+
+    # -- the API -----------------------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        """Insert or update a key."""
+        slot = self._find_slot(key, for_insert=True)
+        if slot is None:
+            raise AllocationError("hash table is full")
+        payload = VALUE_HEADER + len(value)
+        if self._log_head + payload > self._log.end:
+            raise AllocationError("value log exhausted")
+        value_addr = self._log_head
+        self._log_head += -(-payload // units.CACHE_LINE) * units.CACHE_LINE
+        # Write the value bytes, then publish the bucket record.
+        self.stats.stall_ns += self.runtime.write(value_addr, payload)
+        self.stats.stall_ns += self.runtime.write(
+            self._bucket_addr(slot), BUCKET_BYTES)
+        self._slots[slot] = key
+        self._values[key] = bytes(value)
+        self._value_addr[key] = value_addr
+        self.stats.puts += 1
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Look a key up; returns None when absent."""
+        self.stats.gets += 1
+        slot = self._find_slot(key, for_insert=False)
+        if slot is None or self._slots.get(slot) != key:
+            self.stats.misses += 1
+            return None
+        value = self._values[key]
+        self.stats.stall_ns += self.runtime.read(
+            self._value_addr[key], VALUE_HEADER + len(value))
+        self.stats.hits += 1
+        return value
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns True if it existed.
+
+        Uses tombstone-free backward-shift deletion on the shadow
+        state; the bucket rewrite is what touches remote memory.
+        """
+        slot = self._find_slot(key, for_insert=False)
+        if slot is None or self._slots.get(slot) != key:
+            return False
+        self.stats.stall_ns += self.runtime.write(
+            self._bucket_addr(slot), BUCKET_BYTES)
+        del self._slots[slot]
+        del self._values[key]
+        del self._value_addr[key]
+        self._shift_back(slot)
+        self.stats.deletes += 1
+        return True
+
+    def _shift_back(self, hole: int) -> None:
+        slot = (hole + 1) & (self.capacity - 1)
+        while slot in self._slots:
+            key = self._slots[slot]
+            home = self._hash(key) & (self.capacity - 1)
+            if self._distance(home, hole) < self._distance(home, slot):
+                self.stats.stall_ns += self.runtime.write(
+                    self._bucket_addr(hole), BUCKET_BYTES)
+                self.stats.stall_ns += self.runtime.write(
+                    self._bucket_addr(slot), BUCKET_BYTES)
+                self._slots[hole] = key
+                del self._slots[slot]
+                hole = slot
+            slot = (slot + 1) & (self.capacity - 1)
+
+    def _distance(self, home: int, slot: int) -> int:
+        return (slot - home) & (self.capacity - 1)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values

@@ -1,0 +1,135 @@
+"""YCSB-style workload driver for the remote KV store.
+
+The Yahoo Cloud Serving Benchmark's core workload mixes are the lingua
+franca of KV-store evaluation; running them against
+:class:`~repro.apps.kvstore.RemoteKVStore` measures how a real service
+pattern behaves on disaggregated memory — the end-to-end view the
+paper's Redis experiments motivate.
+
+Implemented mixes (request distribution is Zipfian, as in YCSB):
+
+* **A** — update heavy (50/50 read/update)
+* **B** — read mostly (95/5)
+* **C** — read only
+* **D** — read latest (95/5 with inserts, latest-skewed reads)
+* **F** — read-modify-write
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from .kvstore import RemoteKVStore
+
+#: (read, update, insert, rmw) fractions per mix.
+MIXES: Dict[str, tuple] = {
+    "A": (0.50, 0.50, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.50),
+}
+
+
+@dataclass
+class YCSBResult:
+    """Outcome of one YCSB run."""
+
+    mix: str
+    operations: int
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    rmws: int = 0
+    stall_ns: float = 0.0
+    remote_fetches: int = 0
+    dirty_lines: int = 0
+
+    def stall_per_op_ns(self) -> float:
+        """Average memory-stall time per operation."""
+        return self.stall_ns / max(self.operations, 1)
+
+
+class YCSBDriver:
+    """Runs YCSB core mixes against a RemoteKVStore."""
+
+    def __init__(self, store: RemoteKVStore, records: int = 1000,
+                 value_bytes: int = 100, zipf_s: float = 1.2,
+                 seed: int = 0) -> None:
+        if records <= 0:
+            raise ConfigError("records must be positive")
+        self.store = store
+        self.records = records
+        self.value_bytes = value_bytes
+        self.zipf_s = zipf_s
+        self._rng = np.random.default_rng(seed)
+        self._next_insert = records
+
+    def load(self) -> None:
+        """The YCSB load phase: populate the record space."""
+        for i in range(self.records):
+            self.store.put(self._key(i), self._value(i))
+
+    def run(self, mix: str, operations: int = 2000) -> YCSBResult:
+        """Execute one mix; returns per-op accounting."""
+        try:
+            read_f, update_f, insert_f, rmw_f = MIXES[mix.upper()]
+        except KeyError:
+            raise ConfigError(
+                f"unknown mix {mix!r}; choose from {sorted(MIXES)}") from None
+        result = YCSBResult(mix=mix.upper(), operations=operations)
+        runtime = self.store.runtime
+        fetches_before = runtime.agent.counters["remote_fetches"]
+        stall_before = self.store.stats.stall_ns
+        choices = self._rng.random(operations)
+        for roll in choices.tolist():
+            if roll < read_f:
+                self.store.get(self._pick_key(mix))
+                result.reads += 1
+            elif roll < read_f + update_f:
+                key = self._pick_key(mix)
+                self.store.put(key, self._value(hash(key) & 0xFFFF))
+                result.updates += 1
+            elif roll < read_f + update_f + insert_f:
+                self.store.put(self._key(self._next_insert),
+                               self._value(self._next_insert))
+                self._next_insert += 1
+                result.inserts += 1
+            else:
+                key = self._pick_key(mix)
+                value = self.store.get(key) or b""
+                self.store.put(key, value[:self.value_bytes // 2]
+                               + b"!" * (self.value_bytes // 2))
+                result.rmws += 1
+        result.stall_ns = self.store.stats.stall_ns - stall_before
+        result.remote_fetches = (runtime.agent.counters["remote_fetches"]
+                                 - fetches_before)
+        runtime.cpu_cache.flush_tracked()
+        result.dirty_lines = runtime.agent.bitmap.total_dirty_lines()
+        return result
+
+    # -- key selection ------------------------------------------------------------
+
+    def _key(self, i: int) -> str:
+        return f"user{i:08d}"
+
+    def _value(self, i: int) -> bytes:
+        payload = f"field-{i}-".encode()
+        reps = -(-self.value_bytes // len(payload))
+        return (payload * reps)[:self.value_bytes]
+
+    def _pick_key(self, mix: str) -> str:
+        population = self._next_insert
+        if mix.upper() == "D":
+            # Read-latest: skew toward recently inserted records.
+            offset = int(self._rng.zipf(self.zipf_s)) - 1
+            index = max(population - 1 - offset, 0)
+        else:
+            index = (int(self._rng.zipf(self.zipf_s)) - 1) % population
+            # Spread the hot ranks across the keyspace.
+            index = (index * 2654435761) % population
+        return self._key(index)

@@ -1,0 +1,29 @@
+"""Baseline remote-memory systems and eviction strategies."""
+
+from .eviction_strategies import (
+    STRATEGIES,
+    StrategyResult,
+    ideal_4k_nocopy,
+    ideal_cl_nocopy,
+    kona_cl_log,
+    kona_vm_4k,
+    scatter_gather,
+)
+from .infiniswap import infiniswap
+from .kona_vm import kona_vm, kona_vm_no_evict, kona_vm_no_wp
+from .legoos import legoos
+
+__all__ = [
+    "STRATEGIES",
+    "StrategyResult",
+    "ideal_4k_nocopy",
+    "ideal_cl_nocopy",
+    "infiniswap",
+    "kona_cl_log",
+    "kona_vm",
+    "kona_vm_4k",
+    "kona_vm_no_evict",
+    "kona_vm_no_wp",
+    "legoos",
+    "scatter_gather",
+]

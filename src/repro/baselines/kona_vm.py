@@ -1,0 +1,66 @@
+"""Kona-VM: the virtual-memory twin of Kona (paper section 6.1).
+
+Kona-VM uses the *same* caching and eviction algorithms as Kona but
+implements them with virtual memory: userfaultfd-style page faults for
+fetch, write-protection for dirty tracking, page-granularity eviction.
+It exists so the Kona/Kona-VM comparison isolates the mechanism (page
+faults + page tracking vs coherence + line tracking) from policy.
+
+Variants from Figure 7:
+
+* ``kona_vm``          — the full system, eviction overlapped;
+* ``kona_vm_no_evict`` — local cache big enough that nothing evicts
+  (two faults per page: fetch + write-protect);
+* ``kona_vm_no_wp``    — write-protection disabled (one fault per
+  page); *incomplete* — it cannot track dirty data — but a useful
+  lower bound on fault cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common import units
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..vm.faults import FaultPath
+from ..vm.swap import PagedConfig, PagedRemoteMemory
+
+
+def kona_vm(local_capacity: int, *, track_dirty: bool = True,
+            latency: LatencyModel = DEFAULT_LATENCY,
+            app_ns_per_access: float = 70.0,
+            num_cores: int = 8) -> PagedRemoteMemory:
+    """Build the Kona-VM engine with a given local DRAM cache size."""
+    config = PagedConfig(
+        name="kona-vm" if track_dirty else "kona-vm-nowp",
+        fault_path=FaultPath.USERFAULTFD,
+        local_capacity=local_capacity,
+        track_dirty=track_dirty,
+        async_evict_transfer=True,
+        num_cores=num_cores,
+        # Per-page reclaim bookkeeping beyond the PTE churn: page-cache
+        # and LRU management, lock and rmap checks (section 2.1 lists
+        # these as the "sum of small operations" behind eviction cost).
+        extra_evict_ns=800.0,
+    )
+    return PagedRemoteMemory(config, latency, app_ns_per_access)
+
+
+def kona_vm_no_evict(working_set: int, *,
+                     latency: LatencyModel = DEFAULT_LATENCY,
+                     app_ns_per_access: float = 70.0) -> PagedRemoteMemory:
+    """Kona-VM with a local cache covering the full working set."""
+    engine = kona_vm(working_set + units.PAGE_4K, latency=latency,
+                     app_ns_per_access=app_ns_per_access)
+    engine.config.name = "kona-vm-noevict"
+    return engine
+
+
+def kona_vm_no_wp(working_set: int, *,
+                  latency: LatencyModel = DEFAULT_LATENCY,
+                  app_ns_per_access: float = 70.0) -> PagedRemoteMemory:
+    """Kona-VM without write-protection (incomplete: no dirty tracking)."""
+    engine = kona_vm(working_set + units.PAGE_4K, track_dirty=False,
+                     latency=latency, app_ns_per_access=app_ns_per_access)
+    engine.config.name = "kona-vm-nowp"
+    return engine

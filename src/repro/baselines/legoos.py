@@ -1,0 +1,52 @@
+"""LegoOS (Shan et al., OSDI'18) as a cost model.
+
+LegoOS is a splitkernel OS for hardware resource disaggregation; its
+process component keeps an "ExCache" of remote pages and misses to the
+memory component over RDMA.  The paper measured a ~10 us remote fetch
+— much leaner than Infiniswap's block-device path (no bio layer), but
+still fault-driven and page-granular.
+
+The paper treats LegoOS as orthogonal to Kona's ideas (section 6.2) —
+cache-line tracking and fault-free fetch could be added to it — and
+uses it as the stronger page-based baseline.  We model it as a
+kernel-fault engine whose fetch path is tuned to the measured 10 us.
+"""
+
+from __future__ import annotations
+
+from ..common import units
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..vm.faults import FaultPath, PageFaultModel
+from ..vm.swap import PagedConfig, PagedRemoteMemory
+
+
+def _excache_adjustment(latency: LatencyModel, num_cores: int) -> float:
+    """Fetch-path adjustment that closes the gap to the measured 10 us.
+
+    LegoOS is a clean-slate splitkernel: its ExCache miss path skips
+    most of the Linux swap machinery, so the adjustment relative to the
+    generic kernel-swap probe is *negative*.
+    """
+    probe = PageFaultModel(FaultPath.KERNEL_SWAP, latency, num_cores)
+    generic_fetch = (probe.costs.major_fault_ns
+                     + latency.rdma_transfer_ns(units.PAGE_4K, linked=True,
+                                                signaled=True))
+    return latency.legoos_remote_fetch_ns - generic_fetch
+
+
+def legoos(local_capacity: int, *,
+           latency: LatencyModel = DEFAULT_LATENCY,
+           app_ns_per_access: float = 70.0,
+           num_cores: int = 8) -> PagedRemoteMemory:
+    """Build the LegoOS engine with a given ExCache size."""
+    config = PagedConfig(
+        name="legoos",
+        fault_path=FaultPath.KERNEL_SWAP,
+        local_capacity=local_capacity,
+        track_dirty=True,
+        async_evict_transfer=True,   # LegoOS flushes dirty ExCache lines
+                                     # asynchronously where possible
+        num_cores=num_cores,
+        extra_fetch_ns=_excache_adjustment(latency, num_cores),
+    )
+    return PagedRemoteMemory(config, latency, app_ns_per_access)

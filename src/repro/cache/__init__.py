@@ -1,0 +1,44 @@
+"""Set-associative cache models and the trace-driven hierarchy simulator."""
+
+from .amat import (
+    ALL_SYSTEMS,
+    SystemLatencies,
+    infiniswap_latencies,
+    kona_latencies,
+    kona_main_latencies,
+    kona_vm_latencies,
+    legoos_latencies,
+    system_latencies,
+)
+from .hierarchy import (
+    DEFAULT_CPU_LEVELS,
+    CacheHierarchy,
+    HierarchyResult,
+    LevelSpec,
+    dram_cache_spec,
+)
+from .replacement import FIFOPolicy, LRUPolicy, RandomPolicy, make_policy
+from .setassoc import CacheStats, Eviction, SetAssociativeCache
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "CacheHierarchy",
+    "CacheStats",
+    "DEFAULT_CPU_LEVELS",
+    "Eviction",
+    "FIFOPolicy",
+    "HierarchyResult",
+    "LRUPolicy",
+    "LevelSpec",
+    "RandomPolicy",
+    "SetAssociativeCache",
+    "SystemLatencies",
+    "dram_cache_spec",
+    "infiniswap_latencies",
+    "kona_latencies",
+    "kona_main_latencies",
+    "kona_vm_latencies",
+    "legoos_latencies",
+    "make_policy",
+    "system_latencies",
+]

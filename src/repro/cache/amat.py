@@ -1,0 +1,127 @@
+"""Average-memory-access-time pricing of hierarchy results.
+
+The same :class:`~repro.cache.hierarchy.HierarchyResult` is priced
+differently per system (paper section 6.2):
+
+* **Kona** — remote data cached in FMem (NUMA-penalty DRAM), remote
+  misses served by the FPGA directory over RDMA *without* page faults;
+* **Kona-main** — hypothetical Kona that can track CMem, so the DRAM
+  cache is local-latency (the upper bound if CPUs gained the primitive);
+* **LegoOS / Infiniswap / Kona-VM** — remote data cached in CMem, but
+  every remote miss pays the measured page-fault-inclusive fetch
+  latency of that system.
+
+The model is conservative exactly the way the paper is: the page-fault
+cost is folded into the remote transfer latency, ignoring pipeline
+flushes and cache pollution that would further hurt the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..common.errors import ConfigError
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from .hierarchy import HierarchyResult
+
+
+@dataclass(frozen=True)
+class SystemLatencies:
+    """Per-level service latencies (ns) for one remote-memory system."""
+
+    name: str
+    level_ns: Dict[str, float]   # on-chip levels by name
+    dram_cache_ns: float         # serving from the DRAM cache (FMem or CMem)
+    remote_ns: float             # serving a remote miss end to end
+
+    def amat_ns(self, result: HierarchyResult) -> float:
+        """Average memory access time for a simulated trace."""
+        if result.accesses == 0:
+            raise ConfigError("cannot price an empty trace")
+        total = 0.0
+        for level, hits in result.level_hits.items():
+            if level == result.dram_cache_name:
+                total += hits * self.dram_cache_ns
+            else:
+                try:
+                    total += hits * self.level_ns[level]
+                except KeyError:
+                    raise ConfigError(
+                        f"{self.name} has no latency for level {level!r}"
+                    ) from None
+        total += result.remote_fetches * self.remote_ns
+        return total / result.accesses
+
+
+def _onchip(lat: LatencyModel) -> Dict[str, float]:
+    return {"L1": lat.l1_hit_ns, "L2": lat.l2_hit_ns, "L3": lat.l3_hit_ns}
+
+
+def kona_latencies(lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """Kona: FMem-cached, fault-free remote fetches."""
+    return SystemLatencies(
+        name="kona",
+        level_ns=_onchip(lat),
+        dram_cache_ns=lat.fmem_ns,
+        remote_ns=lat.kona_remote_fetch_ns,
+    )
+
+
+def kona_main_latencies(lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """Kona-main: Kona if it could track CMem (no NUMA penalty)."""
+    return SystemLatencies(
+        name="kona-main",
+        level_ns=_onchip(lat),
+        dram_cache_ns=lat.cmem_ns,
+        remote_ns=lat.kona_remote_fetch_ns,
+    )
+
+
+def legoos_latencies(lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """LegoOS: CMem-cached, 10 us fault-inclusive remote fetch."""
+    return SystemLatencies(
+        name="legoos",
+        level_ns=_onchip(lat),
+        dram_cache_ns=lat.cmem_ns,
+        remote_ns=lat.legoos_remote_fetch_ns,
+    )
+
+
+def infiniswap_latencies(lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """Infiniswap: CMem-cached, 40 us block-layer remote fetch."""
+    return SystemLatencies(
+        name="infiniswap",
+        level_ns=_onchip(lat),
+        dram_cache_ns=lat.cmem_ns,
+        remote_ns=lat.infiniswap_remote_fetch_ns,
+    )
+
+
+def kona_vm_latencies(lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """Kona-VM: userfaultfd-based page runtime (similar to LegoOS AMAT)."""
+    return SystemLatencies(
+        name="kona-vm",
+        level_ns=_onchip(lat),
+        dram_cache_ns=lat.cmem_ns,
+        remote_ns=lat.kona_vm_remote_fetch_ns,
+    )
+
+
+ALL_SYSTEMS = {
+    "kona": kona_latencies,
+    "kona-main": kona_main_latencies,
+    "legoos": legoos_latencies,
+    "infiniswap": infiniswap_latencies,
+    "kona-vm": kona_vm_latencies,
+}
+
+
+def system_latencies(name: str, lat: LatencyModel = DEFAULT_LATENCY) -> SystemLatencies:
+    """Look up a system's latency assignment by name."""
+    try:
+        return ALL_SYSTEMS[name](lat)
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {name!r}; choose from {sorted(ALL_SYSTEMS)}"
+        ) from None

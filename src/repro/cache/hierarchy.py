@@ -1,0 +1,171 @@
+"""A multi-level cache hierarchy driven by memory-access traces.
+
+This is the engine under KCacheSim (paper section 5): run a trace
+through L1/L2/L3 plus an optional DRAM cache level (FMem for Kona,
+local page cache for the baselines) and report where each access was
+served.  The paper's AMAT methodology needs only the per-level service
+counts; data movement costs are priced afterwards by
+:mod:`repro.cache.amat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common import units
+from ..common.errors import ConfigError
+from .setassoc import CacheStats, SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Geometry of one cache level."""
+
+    name: str
+    capacity: int
+    block_size: int
+    ways: int
+    policy: str = "lru"
+
+    def build(self) -> SetAssociativeCache:
+        """Instantiate the level."""
+        return SetAssociativeCache(self.name, self.capacity,
+                                   self.block_size, self.ways, self.policy)
+
+
+#: Skylake-like on-chip hierarchy used throughout the evaluation.
+DEFAULT_CPU_LEVELS: Tuple[LevelSpec, ...] = (
+    LevelSpec("L1", 32 * units.KB, units.CACHE_LINE, 8),
+    LevelSpec("L2", 1 * units.MB, units.CACHE_LINE, 16),
+    LevelSpec("L3", 8 * units.MB, units.CACHE_LINE, 16),
+)
+
+
+def dram_cache_spec(capacity: int, block_size: int = units.PAGE_4K,
+                    ways: int = 4, policy: str = "lru") -> LevelSpec:
+    """The software-managed DRAM cache level (FMem or local page cache).
+
+    The paper designs FMem as 4-way set associative with page-sized
+    blocks (section 4.4); capacity is the experiment's "% local memory".
+    """
+    return LevelSpec("DRAM$", capacity, block_size, ways, policy)
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of running a trace through the hierarchy."""
+
+    accesses: int
+    level_hits: Dict[str, int]
+    remote_fetches: int
+    remote_writebacks: int
+    dram_cache_name: Optional[str] = None
+
+    def served_fractions(self) -> Dict[str, float]:
+        """Fraction of accesses served at each level, plus ``remote``."""
+        if self.accesses == 0:
+            return {}
+        out = {name: hits / self.accesses
+               for name, hits in self.level_hits.items()}
+        out["remote"] = self.remote_fetches / self.accesses
+        return out
+
+
+class CacheHierarchy:
+    """L1..L3 (+ optional DRAM cache) with a fast trace-simulation loop."""
+
+    def __init__(self, levels: Sequence[LevelSpec] = DEFAULT_CPU_LEVELS,
+                 dram_cache: Optional[LevelSpec] = None) -> None:
+        if not levels:
+            raise ConfigError("hierarchy needs at least one level")
+        block = None
+        for spec in levels:
+            if block is not None and spec.block_size < block:
+                raise ConfigError(
+                    "lower levels must not have smaller blocks than upper ones")
+            block = spec.block_size
+        self.levels: List[SetAssociativeCache] = [s.build() for s in levels]
+        self.dram_cache: Optional[SetAssociativeCache] = (
+            dram_cache.build() if dram_cache is not None else None)
+        self.remote_fetches = 0
+        self.remote_writebacks = 0
+
+    def access(self, addr: int, is_write: bool) -> str:
+        """Access one address; return the name of the serving level.
+
+        ``"remote"`` means the access missed everywhere (including the
+        DRAM cache if present) and had to fetch from remote memory.
+        Dirty DRAM-cache victims count as remote writebacks.
+        """
+        for level in self.levels:
+            hit, _ = level.access(addr, is_write)
+            if hit:
+                return level.name
+        if self.dram_cache is None:
+            return "memory"
+        hit, eviction = self.dram_cache.access(addr, is_write)
+        if eviction is not None and eviction.dirty:
+            self.remote_writebacks += 1
+        if hit:
+            return self.dram_cache.name
+        self.remote_fetches += 1
+        return "remote"
+
+    def simulate(self, addrs: np.ndarray, writes: np.ndarray) -> HierarchyResult:
+        """Run a whole trace; the hot path of KCacheSim.
+
+        ``addrs`` is a uint64 array of byte addresses, ``writes`` a bool
+        array of the same length.
+        """
+        if addrs.shape != writes.shape:
+            raise ConfigError("addrs and writes must have identical shape")
+        # Bind hot attributes to locals: this loop dominates simulation time.
+        level_access = [lvl.access for lvl in self.levels]
+        dram = self.dram_cache
+        dram_access = dram.access if dram is not None else None
+        remote_fetches = 0
+        remote_writebacks = 0
+        for addr, is_write in zip(addrs.tolist(), writes.tolist()):
+            for access in level_access:
+                hit, _ = access(addr, is_write)
+                if hit:
+                    break
+            else:
+                if dram_access is not None:
+                    hit, eviction = dram_access(addr, is_write)
+                    if eviction is not None and eviction.dirty:
+                        remote_writebacks += 1
+                    if not hit:
+                        remote_fetches += 1
+                else:
+                    remote_fetches += 1
+        self.remote_fetches += remote_fetches
+        self.remote_writebacks += remote_writebacks
+        return self.result(int(addrs.size))
+
+    def result(self, accesses: Optional[int] = None) -> HierarchyResult:
+        """Snapshot the per-level service counts."""
+        level_hits = {lvl.name: lvl.stats.hits for lvl in self.levels}
+        if self.dram_cache is not None:
+            level_hits[self.dram_cache.name] = self.dram_cache.stats.hits
+        total = accesses if accesses is not None else self.levels[0].stats.accesses
+        return HierarchyResult(
+            accesses=total,
+            level_hits=level_hits,
+            remote_fetches=self.remote_fetches,
+            remote_writebacks=self.remote_writebacks,
+            dram_cache_name=(self.dram_cache.name
+                             if self.dram_cache is not None else None),
+        )
+
+    def stats_of(self, name: str) -> CacheStats:
+        """Raw stats for one level by name."""
+        for level in self.levels:
+            if level.name == name:
+                return level.stats
+        if self.dram_cache is not None and self.dram_cache.name == name:
+            return self.dram_cache.stats
+        raise ConfigError(f"no level named {name!r}")

@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro fig7 [--region-mb 16]
+    python -m repro fig8 | fig8d | fig9 | fig10
+    python -m repro fig11a | fig11b | fig11c
+    python -m repro sections
+    python -m repro all
+
+Each command prints the regenerated rows/series next to the paper's
+reference values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from . import units
+from .analysis import paper, render_comparison, render_series, render_table
+from .experiments import (
+    run_fig7,
+    run_fig8_amat,
+    run_fig8d_blocksize,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig11c_breakdown,
+    run_sec21_motivation,
+    run_sec61_baseline_parity,
+    run_sec62_simulation_overhead,
+    run_headline,
+    run_sec63_tracker_overhead,
+    run_table2,
+)
+from .experiments.fig8 import SYSTEMS, best_block
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    """Table 2: dirty data amplification."""
+    result = run_table2(windows=args.windows)
+    print(render_table(
+        ["workload", "4KB", "2MB", "64B",
+         "paper 4KB", "paper 2MB", "paper 64B"],
+        result.rows(), title="Table 2 (measured vs paper)"))
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    """Figure 7: Kona vs Kona-VM microbenchmark."""
+    result = run_fig7(region_bytes=args.region_mb * units.MB)
+    rows = [(s, t, round(sec, 4)) for s, t, sec in result.rows()]
+    print(render_table(["system", "threads", "time (s)"], rows,
+                       title="Figure 7"))
+    print()
+    print(render_table(
+        ["threads", "kona vs kona-vm", "paper"],
+        [(t, round(result.speedup(t), 2),
+          "6.6X" if t == 1 else "4-5X") for t in (1, 2, 4)]))
+    print(f"\nNoEvict speedup: {result.noevict_speedup():.1f}X "
+          f"(paper: 3-5X); NoWP slowdown vs Kona: "
+          f"{result.nowp_slowdown():.1f}X (paper: 1.2-2.9X)")
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    """Figure 8(a-c): AMAT vs cache size."""
+    result = run_fig8_amat(num_ops=args.ops)
+    for workload in result.amat_ns:
+        rows = [(pct, *(round(v, 1) for v in vals))
+                for pct, *vals in result.rows(workload)]
+        print(render_table(["cache %", *SYSTEMS], rows,
+                           title=f"Figure 8 — {workload} (AMAT ns)"))
+        print(f"  @25%: vs LegoOS {result.improvement_at(workload, 0.25, 'legoos'):.1f}X, "
+              f"vs Infiniswap {result.improvement_at(workload, 0.25, 'infiniswap'):.1f}X "
+              f"(paper: 1.7X / 5X)\n")
+
+
+def cmd_fig8d(args: argparse.Namespace) -> None:
+    """Figure 8(d): fetch block-size sweep."""
+    sweep = run_fig8d_blocksize(num_ops=args.ops)
+    blocks = sorted(next(iter(sweep.values())))
+    rows = [(b, *(round(sweep[f][b], 1) for f in sorted(sweep)))
+            for b in blocks]
+    print(render_table(
+        ["block B", *(f"cache {int(f*100)}%" for f in sorted(sweep))],
+        rows, title="Figure 8d — AMAT (ns) by fetch block size"))
+    for f in sorted(sweep):
+        print(f"  best at {int(f*100)}% cache: {best_block(sweep[f])} B")
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    """Figure 9: per-window amplification reduction."""
+    result = run_fig9()
+    for workload, series in result.series.items():
+        print(render_series([(w, round(r, 2)) for w, r in series],
+                            "window", "4KB/CL ratio",
+                            title=f"Figure 9 — {workload}"))
+        print()
+    lo, hi = result.band("redis-rand")
+    print(f"redis-rand steady band: {lo:.1f}-{hi:.1f}X (paper: 2-10X); "
+          f"redis-seq mean: {result.mean('redis-seq'):.1f}X (paper: ~2X)")
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    """Figure 10: tracking speedup vs write-protection."""
+    result = run_fig10()
+    print(render_table(
+        ["workload", "speedup %"],
+        [(n, round(p, 1)) for n, p in result.rows()],
+        title="Figure 10 (paper: 1% to 35%)"))
+
+
+def cmd_fig11a(args: argparse.Namespace) -> None:
+    """Figure 11(a): goodput, contiguous dirty lines."""
+    _fig11(pattern="contiguous")
+
+
+def cmd_fig11b(args: argparse.Namespace) -> None:
+    """Figure 11(b): goodput, alternate dirty lines."""
+    _fig11(pattern="alternate")
+
+
+def _fig11(pattern: str) -> None:
+    result = run_fig11(pattern=pattern)
+    strategies = sorted(result.relative_goodput)
+    rows = [(n, *(round(v, 2) for v in vals)) for n, *vals in result.rows()]
+    print(render_table(["dirty lines", *strategies], rows,
+                       title=f"Figure 11 ({pattern}): goodput vs Kona-VM"))
+
+
+def cmd_fig11c(args: argparse.Namespace) -> None:
+    """Figure 11(c): CL-log time breakdown."""
+    breakdown = run_fig11c_breakdown()
+    buckets = ("bitmap", "copy", "rdma_write", "ack_wait")
+    rows = [(n, *(f"{s.get(b, 0.0):.0%}" for b in buckets),
+             round(s["total_ms"], 1)) for n, s in sorted(breakdown.items())]
+    print(render_table(["dirty lines", *buckets, "total ms"], rows,
+                       title="Figure 11c"))
+
+
+def cmd_sections(args: argparse.Namespace) -> None:
+    """All in-text experiments (2.1, 6.1, 6.2, 6.3)."""
+    print(render_comparison(
+        {k: round(v, 2) for k, v in run_sec21_motivation().items()},
+        {"throughput_drop": "> 0.6", "fetch_us": "40", "rdma_4k_us": "3",
+         "evict_us": "> 32"}, title="Section 2.1"))
+    print()
+    print(render_comparison(
+        {k: round(v, 3) for k, v in run_sec61_baseline_parity().items()},
+        {"speedup_fraction": "up to 0.60"}, title="Section 6.1"))
+    print()
+    slowdown = run_sec62_simulation_overhead()
+    print(f"Section 6.2: KCacheSim slowdown {slowdown:.0f}X (paper: 43X)")
+    print()
+    print(render_comparison(
+        {k: round(v, 3) for k, v in run_sec63_tracker_overhead().items()},
+        {"loss": "~0.60", "diff_share": "~0.95", "ptrace_share": "~0.05"},
+        title="Section 6.3"))
+
+
+def cmd_summary(args: argparse.Namespace) -> None:
+    """Headline claims: the abstract's numbers, measured."""
+    result = run_headline(num_ops=args.ops)
+    print(render_table(["claim", "paper", "measured"], result.rows(),
+                       title="Headline claims"))
+    verdict = "hold" if result.all_claims_hold() else "DO NOT all hold"
+    print(f"\nAll headline claims {verdict}.")
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "summary": cmd_summary,
+    "table2": cmd_table2,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig8d": cmd_fig8d,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11a": cmd_fig11a,
+    "fig11b": cmd_fig11b,
+    "fig11c": cmd_fig11c,
+    "sections": cmd_sections,
+}
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    """List available experiments."""
+    for name, func in COMMANDS.items():
+        print(f"{name:10s} {func.__doc__.strip()}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    """Run every experiment in sequence."""
+    for name, func in COMMANDS.items():
+        print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
+        func(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Rethinking "
+                    "Software Runtimes for Disaggregated Memory' "
+                    "(Kona, ASPLOS 2021).")
+    parser.add_argument("command",
+                        choices=[*COMMANDS, "list", "all"],
+                        help="experiment to regenerate")
+    parser.add_argument("--windows", type=int, default=6,
+                        help="measurement windows for trace experiments")
+    parser.add_argument("--region-mb", type=int, default=16,
+                        help="per-thread region size for fig7 (MB)")
+    parser.add_argument("--ops", type=int, default=40_000,
+                        help="data operations for AMAT simulations")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    handler = {"list": cmd_list, "all": cmd_all, **COMMANDS}[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

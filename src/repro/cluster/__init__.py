@@ -1,0 +1,28 @@
+"""Rack-scale pieces: controller, memory nodes, slab allocation."""
+
+from .controller import RackController
+from .memnode import MemoryNode, UnpackReceipt
+from .placement import (
+    PLACEMENTS,
+    FirstFitPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    imbalance,
+    make_placement,
+)
+from .slab import DEFAULT_SLAB_BYTES, Slab, SlabPool
+
+__all__ = [
+    "DEFAULT_SLAB_BYTES",
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "MemoryNode",
+    "PLACEMENTS",
+    "RackController",
+    "RoundRobinPlacement",
+    "Slab",
+    "SlabPool",
+    "UnpackReceipt",
+    "imbalance",
+    "make_placement",
+]

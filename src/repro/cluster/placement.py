@@ -1,0 +1,88 @@
+"""Slab placement policies for the rack controller.
+
+Where a slab lands matters: round-robin spreads load, least-loaded
+equalizes pools when nodes differ in size or tenancy, and first-fit
+packs slabs to keep nodes fully drainable for decommissioning.  The
+paper assumes a simple centralized allocator (section 4.1); these
+policies are the knobs an operator of such a controller actually needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from ..common.errors import ConfigError
+from .memnode import MemoryNode
+
+
+class PlacementPolicy(Protocol):
+    """Chooses the node for the next slab."""
+
+    def choose(self, candidates: Sequence[MemoryNode]) -> Optional[MemoryNode]:
+        """Pick a node from live candidates with free slabs, or None."""
+
+
+class RoundRobinPlacement:
+    """Rotate across nodes (the default; spreads network load)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, candidates: Sequence[MemoryNode]) -> Optional[MemoryNode]:
+        eligible = [n for n in candidates if n.pool.free_slabs > 0]
+        if not eligible:
+            return None
+        node = eligible[self._next % len(eligible)]
+        self._next += 1
+        return node
+
+
+class LeastLoadedPlacement:
+    """Pick the node with the most free slabs (capacity equalizing)."""
+
+    def choose(self, candidates: Sequence[MemoryNode]) -> Optional[MemoryNode]:
+        eligible = [n for n in candidates if n.pool.free_slabs > 0]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda n: (n.pool.free_slabs, n.name))
+
+
+class FirstFitPlacement:
+    """Fill nodes in name order (packs slabs; eases decommissioning)."""
+
+    def choose(self, candidates: Sequence[MemoryNode]) -> Optional[MemoryNode]:
+        for node in sorted(candidates, key=lambda n: n.name):
+            if node.pool.free_slabs > 0:
+                return node
+        return None
+
+
+PLACEMENTS = {
+    "round-robin": RoundRobinPlacement,
+    "least-loaded": LeastLoadedPlacement,
+    "first-fit": FirstFitPlacement,
+}
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Instantiate a placement policy by name."""
+    try:
+        return PLACEMENTS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement {name!r}; choose from "
+            f"{sorted(PLACEMENTS)}") from None
+
+
+def imbalance(nodes: Sequence[MemoryNode]) -> float:
+    """Spread between the fullest and emptiest node (0 = balanced).
+
+    Measured as the difference in allocated fractions.
+    """
+    if not nodes:
+        raise ConfigError("no nodes to measure")
+    fractions = []
+    for node in nodes:
+        total = node.pool.free_slabs + node.pool.allocated_slabs
+        fractions.append(node.pool.allocated_slabs / max(total, 1))
+    return max(fractions) - min(fractions)

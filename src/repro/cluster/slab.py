@@ -1,0 +1,86 @@
+"""Slabs: the coarse unit of disaggregated-memory allocation.
+
+The rack controller hands out memory in large slabs (paper section 4.1)
+so allocation stays off the application's critical path; KLib's
+resource manager splits slabs locally for fine-grained allocations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..common import units
+from ..common.errors import AllocationError, ConfigError
+from ..mem.address import AddressRange
+
+#: Default slab size; large enough that a slab request amortizes many
+#: application allocations (the paper allocates "one or multiple slabs").
+DEFAULT_SLAB_BYTES = 64 * units.MB
+
+
+@dataclass(frozen=True)
+class Slab:
+    """A contiguous chunk of one memory node's pool."""
+
+    slab_id: int
+    node: str
+    remote_range: AddressRange
+
+    @property
+    def size(self) -> int:
+        """Slab capacity in bytes."""
+        return self.remote_range.size
+
+
+class SlabPool:
+    """Carves a memory node's registered pool into slabs."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, node: str, pool: AddressRange,
+                 slab_bytes: int = DEFAULT_SLAB_BYTES) -> None:
+        if slab_bytes <= 0 or slab_bytes % units.PAGE_4K:
+            raise ConfigError(
+                f"slab_bytes {slab_bytes} must be a positive 4 KiB multiple")
+        if pool.size < slab_bytes:
+            raise ConfigError("pool smaller than one slab")
+        self.node = node
+        self.pool = pool
+        self.slab_bytes = slab_bytes
+        self._free: List[AddressRange] = list(pool.split(slab_bytes))
+        # Drop a trailing partial slab, if any.
+        if self._free and self._free[-1].size < slab_bytes:
+            self._free.pop()
+        self._allocated: Dict[int, Slab] = {}
+
+    @property
+    def free_slabs(self) -> int:
+        """Slabs still available."""
+        return len(self._free)
+
+    @property
+    def allocated_slabs(self) -> int:
+        """Slabs currently handed out."""
+        return len(self._allocated)
+
+    def allocate(self) -> Slab:
+        """Take one slab; raises :class:`AllocationError` when exhausted."""
+        if not self._free:
+            raise AllocationError(f"node {self.node!r} has no free slabs")
+        chunk = self._free.pop(0)
+        slab = Slab(slab_id=next(self._ids), node=self.node,
+                    remote_range=chunk)
+        self._allocated[slab.slab_id] = slab
+        return slab
+
+    def release(self, slab: Slab) -> None:
+        """Return a slab to the pool."""
+        if slab.slab_id not in self._allocated:
+            raise AllocationError(f"slab {slab.slab_id} not allocated here")
+        del self._allocated[slab.slab_id]
+        self._free.append(slab.remote_range)
+
+    def __iter__(self) -> Iterator[Slab]:
+        return iter(self._allocated.values())

@@ -1,0 +1,25 @@
+"""MESI directory coherence: the hardware substrate of Kona's primitives."""
+
+from .agent import CoherentCache, DirectoryResolver
+from .directory import Directory, DirectoryEntry
+from .states import (
+    CoherenceEvent,
+    CoherenceMessage,
+    EventKind,
+    LineState,
+    MessageType,
+    Protocol,
+)
+
+__all__ = [
+    "CoherenceEvent",
+    "CoherenceMessage",
+    "CoherentCache",
+    "Directory",
+    "DirectoryEntry",
+    "DirectoryResolver",
+    "EventKind",
+    "LineState",
+    "MessageType",
+    "Protocol",
+]

@@ -1,0 +1,176 @@
+"""A caching agent: the CPU cache hierarchy as seen by the directory.
+
+The agent collapses the CPU's L1/L2/L3 into one aggregate coherent
+cache (geometry ~ LLC).  That is the right abstraction level for Kona:
+the directory cannot see *which* level holds a line, only when lines
+are requested and when modified lines come back.
+
+For addresses outside any tracked range (CMem), the agent behaves like
+an ordinary cache with no coherence traffic, mirroring the paper's
+limitation that the FPGA cannot observe CMem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..common import units
+from ..common.errors import CoherenceError
+from ..common.stats import Counter
+from ..mem.address import align_down, is_power_of_two
+from .directory import Directory
+from .states import LineState, Protocol
+
+
+DirectoryResolver = Callable[[int], Optional[Directory]]
+
+
+class CoherentCache:
+    """Set-associative cache whose lines carry MESI states."""
+
+    def __init__(self, agent_id: int, resolver: DirectoryResolver,
+                 capacity: int = 8 * units.MB, ways: int = 16,
+                 protocol: Protocol = Protocol.MESI) -> None:
+        if capacity <= 0 or ways <= 0 or capacity % (units.CACHE_LINE * ways):
+            raise CoherenceError(
+                f"bad geometry capacity={capacity} ways={ways}")
+        self.num_sets = capacity // (units.CACHE_LINE * ways)
+        if not is_power_of_two(self.num_sets):
+            raise CoherenceError(f"sets {self.num_sets} not a power of two")
+        self.agent_id = agent_id
+        self.ways = ways
+        self.protocol = protocol
+        self._resolver = resolver
+        # Per set: ordered dict line_addr -> LineState (LRU: oldest first).
+        self._sets: List[Dict[int, LineState]] = [
+            {} for _ in range(self.num_sets)]
+        self.counters = Counter()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def attach(self, directory: Directory) -> None:
+        """Register this agent's coherence callbacks with a directory."""
+        directory.register_agent(self.agent_id, self._handle_invalidation,
+                                 self._handle_downgrade)
+
+    def _set_of(self, line_addr: int) -> Dict[int, LineState]:
+        index = (line_addr // units.CACHE_LINE) & (self.num_sets - 1)
+        return self._sets[index]
+
+    def _handle_invalidation(self, line_addr: int) -> bool:
+        """Directory-initiated invalidation; True if our copy was dirty."""
+        lines = self._set_of(line_addr)
+        state = lines.pop(line_addr, None)
+        self.counters.add("external_invalidations")
+        return state is not None and state.dirty
+
+    def _handle_downgrade(self, line_addr: int) -> bool:
+        """Demote our copy for a read-sharer; True if it was dirty.
+
+        Under MOESI a dirty copy stays dirty in OWNED; under MSI/MESI
+        the dirty data is written back (the directory emits the
+        writeback) and our copy becomes SHARED.
+        """
+        lines = self._set_of(line_addr)
+        state = lines.get(line_addr)
+        if state is None:
+            return False
+        self.counters.add("downgrades")
+        was_dirty = state.dirty
+        if was_dirty and self.protocol.has_owned:
+            lines[line_addr] = LineState.OWNED
+        else:
+            lines[line_addr] = LineState.SHARED
+        return was_dirty
+
+    # -- the access path -----------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Perform one memory access; returns True on a cache hit.
+
+        Misses and upgrades generate the appropriate directory traffic
+        for tracked addresses.
+        """
+        line_addr = align_down(addr, units.CACHE_LINE)
+        lines = self._set_of(line_addr)
+        state = lines.get(line_addr)
+        directory = self._resolver(line_addr)
+
+        if state is not None:
+            if not is_write or state.writable:
+                # Pure hit; promote in LRU order.
+                del lines[line_addr]
+                new_state = LineState.MODIFIED if is_write else state
+                lines[line_addr] = new_state
+                self.counters.add("hits")
+                return True
+            # Write to a SHARED line: upgrade.
+            del lines[line_addr]
+            if directory is not None:
+                directory.get_modified(line_addr, self.agent_id)
+            lines[line_addr] = LineState.MODIFIED
+            self.counters.add("upgrades")
+            return True
+
+        # Miss: make room first so the directory sees eviction before fill.
+        self.counters.add("misses")
+        if len(lines) >= self.ways:
+            self._evict_victim(lines)
+        if is_write:
+            if directory is not None:
+                directory.get_modified(line_addr, self.agent_id)
+            new_state = LineState.MODIFIED
+        elif directory is not None:
+            # The data response carries the granted state (E only for a
+            # sole holder).
+            new_state = directory.get_shared(line_addr, self.agent_id)
+        elif self.protocol.has_exclusive:
+            new_state = LineState.EXCLUSIVE
+        else:
+            new_state = LineState.SHARED
+        lines[line_addr] = new_state
+        return False
+
+    def _evict_victim(self, lines: Dict[int, LineState]) -> None:
+        victim_addr = next(iter(lines))
+        victim_state = lines.pop(victim_addr)
+        self.counters.add("evictions")
+        directory = self._resolver(victim_addr)
+        if directory is None:
+            return
+        if victim_state.dirty:
+            directory.put_modified(victim_addr, self.agent_id)
+        else:
+            directory.put_clean(victim_addr, self.agent_id)
+
+    # -- bulk operations ---------------------------------------------------------
+
+    def flush_tracked(self) -> int:
+        """Write back and drop every tracked line (barrier/teardown path).
+
+        Returns the number of modified lines written back.
+        """
+        written_back = 0
+        for lines in self._sets:
+            for line_addr in list(lines):
+                directory = self._resolver(line_addr)
+                if directory is None:
+                    continue
+                state = lines.pop(line_addr)
+                if state.dirty:
+                    directory.put_modified(line_addr, self.agent_id)
+                    written_back += 1
+                else:
+                    directory.put_clean(line_addr, self.agent_id)
+        self.counters.add("flushes")
+        return written_back
+
+    def state_of(self, addr: int) -> LineState:
+        """MESI state of the line containing ``addr`` (INVALID if absent)."""
+        line_addr = align_down(addr, units.CACHE_LINE)
+        return self._set_of(line_addr).get(line_addr, LineState.INVALID)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,316 @@
+"""The home-agent directory for a coherence-tracked address range.
+
+This models the VFMem directory the FPGA implements (paper section
+4.3): it maintains per-line ownership state for every line in its home
+range and emits :class:`~repro.coherence.states.CoherenceEvent`s to
+registered observers.  The Kona runtime subscribes to those events to
+implement fetch-on-fill and cache-line dirty tracking.
+
+The directory supports the MSI, MESI and MOESI protocol families
+(paper section 2.3).  All of them give Kona what it needs — the home
+agent sees every fill and, eventually, every dirty writeback — but
+they differ in *when* dirty data becomes home-visible:
+
+* **MSI** — no E state: every first write is an explicit upgrade, so
+  the home even learns about intent-to-write immediately;
+* **MESI** — silent E->M upgrades: the home learns about dirty data
+  when the line is written back (or snooped);
+* **MOESI** — the OWNED state defers writebacks past read-sharing:
+  dirty data can linger in caches even longer.
+
+The directory supports multiple caching agents (e.g. two sockets) even
+though the paper's deployment has one; invariants are asserted so
+property-based tests can hammer the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..common import units
+from ..common.errors import CoherenceError
+from ..common.stats import Counter
+from ..mem.address import AddressRange
+from .states import CoherenceEvent, EventKind, LineState, Protocol
+
+
+Observer = Callable[[CoherenceEvent], None]
+#: invalidate(line) -> was_dirty; downgrade(line) -> was_dirty.
+AgentCallbacks = Tuple[Callable[[int], bool], Optional[Callable[[int], bool]]]
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one cache line."""
+
+    state: LineState = LineState.INVALID
+    owner: Optional[int] = None      # agent id when E/M/O
+    sharers: Set[int] = field(default_factory=set)
+
+    def check_invariants(self) -> None:
+        """Raise if the entry violates directory invariants."""
+        if self.state in (LineState.EXCLUSIVE, LineState.MODIFIED):
+            if self.owner is None:
+                raise CoherenceError(f"{self.state} entry without owner")
+            if self.sharers - {self.owner}:
+                raise CoherenceError(
+                    f"{self.state} entry with extra sharers {self.sharers}")
+        elif self.state is LineState.OWNED:
+            if self.owner is None:
+                raise CoherenceError("OWNED entry without owner")
+            if self.owner not in self.sharers:
+                raise CoherenceError("OWNED owner missing from sharers")
+        elif self.state is LineState.SHARED:
+            if not self.sharers:
+                raise CoherenceError("SHARED entry with no sharers")
+            if self.owner is not None:
+                raise CoherenceError("SHARED entry with an owner")
+        else:  # INVALID
+            if self.owner is not None or self.sharers:
+                raise CoherenceError("INVALID entry with residual state")
+
+
+class Directory:
+    """Home agent for ``home_range``; observes all fills and writebacks."""
+
+    def __init__(self, home_range: AddressRange,
+                 protocol: Protocol = Protocol.MESI) -> None:
+        self.home_range = home_range
+        self.protocol = protocol
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._observers: List[Observer] = []
+        self.counters = Counter()
+        self._agents: Dict[int, AgentCallbacks] = {}
+
+    # -- wiring ----------------------------------------------------------------
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register an event observer (the Kona runtime's primitives)."""
+        self._observers.append(observer)
+
+    def register_agent(self, agent_id: int,
+                       invalidate: Callable[[int], bool],
+                       downgrade: Optional[Callable[[int], bool]] = None
+                       ) -> None:
+        """Register a caching agent.
+
+        ``invalidate(line_addr)`` drops the agent's copy and returns
+        True if it was dirty.  ``downgrade(line_addr)`` (MOESI) demotes
+        a dirty copy to OWNED and returns True if it was dirty; agents
+        that never share dirty data may omit it.
+        """
+        self._agents[agent_id] = (invalidate, downgrade)
+
+    def _emit(self, event: CoherenceEvent) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    def _entry(self, line_addr: int) -> DirectoryEntry:
+        self._check_home(line_addr)
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    def _check_home(self, line_addr: int) -> None:
+        if line_addr not in self.home_range:
+            raise CoherenceError(
+                f"line {line_addr:#x} is not homed at this directory")
+        if line_addr % units.CACHE_LINE:
+            raise CoherenceError(f"{line_addr:#x} is not line aligned")
+
+    # -- protocol transactions ---------------------------------------------------
+
+    def get_shared(self, line_addr: int, agent_id: int) -> LineState:
+        """GetS: agent read-misses on a line homed here.
+
+        Returns the state granted to the requester (EXCLUSIVE only when
+        it is the sole holder and the protocol has an E state).
+        """
+        entry = self._entry(line_addr)
+        self.counters.add("get_s")
+        if entry.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            self._share_dirty_owner(line_addr, entry)
+        if entry.state is LineState.INVALID:
+            if self.protocol.has_exclusive:
+                entry.state = LineState.EXCLUSIVE
+                entry.owner = agent_id
+                entry.sharers = {agent_id}
+                granted = LineState.EXCLUSIVE
+            else:
+                entry.state = LineState.SHARED
+                entry.owner = None
+                entry.sharers = {agent_id}
+                granted = LineState.SHARED
+        elif entry.state is LineState.OWNED:
+            entry.sharers.add(agent_id)   # owner forwards the data
+            granted = LineState.SHARED
+        else:
+            entry.state = LineState.SHARED
+            entry.owner = None
+            entry.sharers.add(agent_id)
+            granted = LineState.SHARED
+        entry.check_invariants()
+        self._emit(CoherenceEvent(EventKind.FILL, line_addr, is_write=False))
+        return granted
+
+    def _share_dirty_owner(self, line_addr: int,
+                           entry: DirectoryEntry) -> None:
+        """Another agent wants to read a line someone holds E/M.
+
+        The owner keeps a copy and supplies the data.  Under MOESI a
+        dirty owner stays dirty in OWNED (no home writeback yet); under
+        MSI/MESI a dirty copy is written back to the home (a tracked
+        writeback) and everyone degrades to SHARED.
+        """
+        owner = entry.owner
+        if owner is None:
+            raise CoherenceError("E/M entry without owner on GetS")
+        _, downgrade = self._agents.get(owner, (None, None))
+        if downgrade is not None:
+            was_dirty = downgrade(line_addr)
+        else:
+            # No callback: trust the directory's own state (silent E->M
+            # upgrades are then conservatively treated as clean).
+            was_dirty = entry.state is LineState.MODIFIED
+        if was_dirty and self.protocol.has_owned:
+            entry.state = LineState.OWNED
+            entry.sharers = {owner}
+            self.counters.add("owned_transitions")
+            return
+        if was_dirty:
+            self._emit(CoherenceEvent(EventKind.DIRTY_WRITEBACK, line_addr,
+                                      is_write=True))
+            self.counters.add("share_writebacks")
+        entry.state = LineState.SHARED
+        entry.sharers = {owner}
+        entry.owner = None
+
+    def get_modified(self, line_addr: int, agent_id: int) -> None:
+        """GetM: agent write-misses (or upgrades) on a line homed here."""
+        entry = self._entry(line_addr)
+        self.counters.add("get_m")
+        was_resident = agent_id in entry.sharers or entry.owner == agent_id
+        # Everyone else loses their copy.  A dirty copy (M/O owner)
+        # moves cache-to-cache; ownership transfers without a home
+        # writeback — the new owner will write it back eventually.
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        for other in sorted(holders - {agent_id}):
+            self._invalidate_agent(other, line_addr)
+        entry.state = LineState.MODIFIED
+        entry.owner = agent_id
+        entry.sharers = {agent_id}
+        entry.check_invariants()
+        if was_resident:
+            self._emit(CoherenceEvent(EventKind.UPGRADE, line_addr,
+                                      is_write=True))
+        else:
+            self._emit(CoherenceEvent(EventKind.FILL, line_addr,
+                                      is_write=True))
+
+    def put_modified(self, line_addr: int, agent_id: int) -> None:
+        """PutM/PutO: agent evicts a dirty line; data reaches the home.
+
+        This is the event stream Kona's Dirty Data Tracker feeds on.
+        """
+        entry = self._entry(line_addr)
+        self.counters.add("put_m")
+        # EXCLUSIVE is legal here: MESI/MOESI let the owner upgrade
+        # E->M silently, so the directory first learns of the
+        # modification when the dirty line comes back.
+        if (entry.state not in (LineState.MODIFIED, LineState.EXCLUSIVE,
+                                LineState.OWNED)
+                or entry.owner != agent_id):
+            raise CoherenceError(
+                f"PutM from agent {agent_id} for line {line_addr:#x} "
+                f"in state {entry.state} owned by {entry.owner}")
+        if entry.state is LineState.OWNED:
+            # Other sharers keep clean copies; the home is now current.
+            entry.sharers.discard(agent_id)
+            entry.owner = None
+            entry.state = (LineState.SHARED if entry.sharers
+                           else LineState.INVALID)
+        else:
+            entry.state = LineState.INVALID
+            entry.owner = None
+            entry.sharers = set()
+        entry.check_invariants()
+        self._emit(CoherenceEvent(EventKind.DIRTY_WRITEBACK, line_addr,
+                                  is_write=True))
+
+    def put_clean(self, line_addr: int, agent_id: int) -> None:
+        """PutE/PutS: agent drops a clean line (no data transfer)."""
+        entry = self._entry(line_addr)
+        self.counters.add("put_clean")
+        entry.sharers.discard(agent_id)
+        if entry.owner == agent_id:
+            # A clean owner (E) dropped its copy; O copies are dirty
+            # and must leave through put_modified instead.
+            entry.owner = None
+            entry.state = (LineState.SHARED if entry.sharers
+                           else LineState.INVALID)
+        elif entry.owner is None:
+            entry.state = (LineState.SHARED if entry.sharers
+                           else LineState.INVALID)
+        # else: another agent still owns the line; its state stands.
+        entry.check_invariants()
+
+    def snoop(self, line_addr: int) -> bool:
+        """Pull the latest copy of a (possibly dirty) line from caches.
+
+        Kona's eviction path snoops lines it is about to write out, in
+        case the CPU has a newer copy (paper section 4.4).  Returns
+        True if a dirty copy was recalled.
+        """
+        entry = self._entries.get(line_addr)
+        self.counters.add("snoops")
+        if entry is None or entry.state in (LineState.INVALID,
+                                            LineState.SHARED):
+            # Shared copies are clean by construction; nothing to pull.
+            return False
+        # E lines may have been silently upgraded to M, and O lines are
+        # dirty by definition, so the snoop must go out and ask.  The
+        # agent's invalidation callback reports whether its copy was
+        # dirty.
+        owner = entry.owner
+        if owner is None:
+            raise CoherenceError("E/M/O entry without owner during snoop")
+        invalidate, _ = self._agents.get(owner, (None, None))
+        was_dirty = (entry.state.dirty if invalidate is None
+                     else invalidate(line_addr))
+        entry.sharers.discard(owner)
+        entry.owner = None
+        entry.state = (LineState.SHARED if entry.sharers
+                       else LineState.INVALID)
+        entry.check_invariants()
+        if was_dirty:
+            self._emit(CoherenceEvent(EventKind.SNOOPED, line_addr,
+                                      is_write=True))
+        return bool(was_dirty)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _invalidate_agent(self, agent_id: Optional[int],
+                          line_addr: int) -> None:
+        if agent_id is None:
+            return
+        callbacks = self._agents.get(agent_id)
+        if callbacks is not None:
+            callbacks[0](line_addr)
+        self.counters.add("invalidations")
+
+    # -- inspection ------------------------------------------------------------------
+
+    def state_of(self, line_addr: int) -> LineState:
+        """Current directory state for a line (INVALID if never seen)."""
+        entry = self._entries.get(line_addr)
+        return entry.state if entry is not None else LineState.INVALID
+
+    def modified_lines(self) -> List[int]:
+        """Lines currently held dirty somewhere (sorted)."""
+        return sorted(addr for addr, e in self._entries.items()
+                      if e.state.dirty)

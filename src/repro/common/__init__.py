@@ -1,0 +1,43 @@
+"""Shared infrastructure: units, clock/DES, latency model, statistics."""
+
+from .clock import Account, EventHandle, EventQueue, SimClock
+from .errors import (
+    AddressError,
+    AllocationError,
+    CoherenceError,
+    ConfigError,
+    NetworkError,
+    NodeFailure,
+    OutOfMemoryError,
+    ProtectionError,
+    ReproError,
+    SimulationError,
+    TranslationError,
+)
+from .latency import DEFAULT_LATENCY, LatencyModel, validate_against_paper
+from .stats import CDF, Counter, geometric_mean, ratio
+
+__all__ = [
+    "Account",
+    "AddressError",
+    "AllocationError",
+    "CDF",
+    "CoherenceError",
+    "ConfigError",
+    "Counter",
+    "DEFAULT_LATENCY",
+    "EventHandle",
+    "EventQueue",
+    "LatencyModel",
+    "NetworkError",
+    "NodeFailure",
+    "OutOfMemoryError",
+    "ProtectionError",
+    "ReproError",
+    "SimClock",
+    "SimulationError",
+    "TranslationError",
+    "geometric_mean",
+    "ratio",
+    "validate_against_paper",
+]

@@ -1,0 +1,187 @@
+"""A small discrete-event simulation core.
+
+The Kona runtime model needs just enough of a DES to express things the
+paper cares about: work that happens *off the critical path* (slab
+pre-allocation, eviction, log unpacking on the memory node) versus work
+that stalls the application (page faults, remote fetches).
+
+:class:`SimClock` is a monotonically advancing nanosecond counter.
+:class:`EventQueue` schedules callbacks at absolute times and runs them
+in order.  :class:`Account` accumulates time into named buckets, which
+is how the benchmark harness produces breakdowns like Figure 11c.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated clock in nanoseconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` ns and return the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by {delta} ns")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to the absolute instant ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={when}"
+            )
+        self._now = when
+        return self._now
+
+
+@dataclass(order=True)
+class _Event:
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already ran)."""
+        self._event.cancelled = True
+
+    @property
+    def when(self) -> float:
+        """Absolute time the event is scheduled for."""
+        return self._event.when
+
+
+class EventQueue:
+    """Priority queue of timed callbacks driving a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, when={when}"
+            )
+        event = _Event(when=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        """True when no live events remain."""
+        return len(self) == 0
+
+    def step(self) -> bool:
+        """Run the next pending event; return False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self._heap:
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.when > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return executed
+
+
+class Account:
+    """Accumulates simulated time into named buckets.
+
+    Used for the kind of breakdown the paper shows in Figure 11c
+    (Copy / Bitmap / RDMA write / Ack wait).
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, float] = defaultdict(float)
+
+    def charge(self, bucket: str, ns: float) -> None:
+        """Add ``ns`` nanoseconds to ``bucket``."""
+        if ns < 0:
+            raise SimulationError(f"negative charge {ns} to {bucket}")
+        self._buckets[bucket] += ns
+
+    def __getitem__(self, bucket: str) -> float:
+        return self._buckets.get(bucket, 0.0)
+
+    def __contains__(self, bucket: str) -> bool:
+        return bucket in self._buckets
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._buckets.items()))
+
+    @property
+    def total(self) -> float:
+        """Sum over all buckets."""
+        return sum(self._buckets.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-bucket share of the total (empty dict if nothing charged)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {name: value / total for name, value in self._buckets.items()}
+
+    def merge(self, other: "Account") -> None:
+        """Add all of ``other``'s buckets into this account."""
+        for name, value in other:
+            self._buckets[name] += value
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the raw bucket values."""
+        return dict(self._buckets)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle anything the simulator reports.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address is outside the region it was used against."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation could not be satisfied."""
+
+
+class OutOfMemoryError(AllocationError):
+    """A node or region ran out of physical capacity."""
+
+
+class ProtectionError(ReproError):
+    """An access violated page protection bits."""
+
+
+class TranslationError(ReproError):
+    """A virtual address has no valid translation."""
+
+
+class NetworkError(ReproError):
+    """An RDMA operation failed or timed out."""
+
+
+class NodeFailure(ReproError):
+    """A memory node crashed or became unreachable."""
+
+
+class CoherenceError(ReproError):
+    """The coherence protocol reached an invalid state transition."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly."""

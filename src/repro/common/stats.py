@@ -1,0 +1,101 @@
+"""Small statistics helpers: counters, CDFs, and summary records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A named bag of integer counters with a readable repr."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount``."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the raw counts."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical cumulative distribution over integer support.
+
+    ``values`` are the sorted distinct sample values, ``cumulative`` the
+    fraction of samples less than or equal to each value.  This mirrors
+    the presentation of Figures 2 and 3 in the paper.
+    """
+
+    values: np.ndarray
+    cumulative: np.ndarray
+
+    @staticmethod
+    def from_samples(samples: Sequence[int]) -> "CDF":
+        """Build a CDF from raw (unsorted, repeated) samples."""
+        arr = np.asarray(samples)
+        if arr.size == 0:
+            return CDF(np.array([], dtype=np.int64), np.array([], dtype=float))
+        values, counts = np.unique(arr, return_counts=True)
+        cumulative = np.cumsum(counts) / arr.size
+        return CDF(values, cumulative)
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        if self.values.size == 0:
+            return 0.0
+        idx = np.searchsorted(self.values, value, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self.cumulative[idx])
+
+    def quantile(self, q: float) -> int:
+        """Smallest value v with P(X <= v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.values.size == 0:
+            raise ValueError("empty CDF has no quantiles")
+        idx = int(np.searchsorted(self.cumulative, q, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return int(self.values[idx])
+
+    @property
+    def mean(self) -> float:
+        """Mean of the underlying samples."""
+        if self.values.size == 0:
+            return float("nan")
+        probs = np.diff(np.concatenate(([0.0], self.cumulative)))
+        return float(np.dot(self.values, probs))
+
+    def series(self) -> List[Tuple[int, float]]:
+        """(value, cumulative-fraction) pairs for plotting/printing."""
+        return [(int(v), float(c)) for v, c in zip(self.values, self.cumulative)]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional summary for speedup ratios."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of no values")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio that raises instead of dividing by zero."""
+    if denominator == 0:
+        raise ZeroDivisionError("ratio denominator is zero")
+    return numerator / denominator

@@ -1,0 +1,79 @@
+"""Units and physical constants used throughout the simulator.
+
+All sizes are in bytes and all times are in nanoseconds unless a name
+says otherwise.  Keeping a single module of named constants avoids the
+classic simulator bug of mixing microseconds and nanoseconds in cost
+models.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Sizes
+# --------------------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Size of a CPU cache line.  Kona tracks dirty data at this granularity.
+CACHE_LINE = 64
+
+#: Base (small) virtual-memory page.
+PAGE_4K = 4 * KB
+
+#: x86-64 huge page.
+PAGE_2M = 2 * MB
+
+#: Cache lines per 4 KB page (64 in the paper's analysis).
+LINES_PER_PAGE = PAGE_4K // CACHE_LINE
+
+#: Word size used when counting "actual bytes written" by an application.
+#: Stores on a 64-bit machine are word sized, so unique written bytes are
+#: counted at 8-byte granularity (see repro.tools.pintool).
+WORD = 8
+
+# --------------------------------------------------------------------------
+# Times (nanoseconds)
+# --------------------------------------------------------------------------
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+S = 1_000_000_000
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / US
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / MS
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / S
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``4.0KiB``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or suffix == "TiB":
+            return f"{value:.1f}{suffix}" if suffix != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def time_to_human(ns: float) -> str:
+    """Render a duration in the most natural unit, e.g. ``3.0us``."""
+    if ns < US:
+        return f"{ns:.1f}ns"
+    if ns < MS:
+        return f"{ns / US:.1f}us"
+    if ns < S:
+        return f"{ns / MS:.1f}ms"
+    return f"{ns / S:.2f}s"

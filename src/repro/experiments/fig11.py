@@ -1,0 +1,90 @@
+"""Figure 11: eviction goodput by transfer strategy (section 6.4).
+
+A 1 GB region where each 4 KB page has N dirty cache lines, contiguous
+(panel a) or alternate (panel b); each strategy writes the dirty data
+to a remote host and goodput is reported relative to Kona-VM's 4 KB
+writes.  Panel (c) breaks Kona's CL-log time into Bitmap / Copy /
+RDMA write / Ack wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .. import units
+from ..baselines.eviction_strategies import (
+    STRATEGIES,
+    kona_cl_log,
+    kona_vm_4k,
+)
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+
+#: Dirty-line counts on the x-axes.
+CONTIG_LINES = (1, 2, 4, 6, 8, 12, 16, 32, 64)
+ALTERNATE_LINES = (1, 2, 4, 8, 12, 16, 32)
+#: Densities shown in panel (c).
+FIG11C_LINES = (1, 8, 64)
+
+#: 1 GB region = 262144 pages in the paper; scaled down by default
+#: (per-page costs are uniform, so ratios are unaffected).
+DEFAULT_PAGES = 16384
+
+
+@dataclass
+class Fig11Result:
+    """Relative goodput indexed by [strategy][n_lines]."""
+
+    pattern: str
+    relative_goodput: Dict[str, Dict[int, float]] = field(
+        default_factory=dict)
+
+    def series(self, strategy: str) -> List[Tuple[int, float]]:
+        """(n_lines, goodput-vs-Kona-VM) points for one strategy."""
+        return sorted(self.relative_goodput[strategy].items())
+
+    def rows(self):
+        """(n_lines, *strategy columns) rows."""
+        strategies = sorted(self.relative_goodput)
+        lines = sorted(next(iter(self.relative_goodput.values())))
+        for n in lines:
+            yield (n, *(self.relative_goodput[s][n] for s in strategies))
+
+
+def run_fig11(pattern: str = "contiguous",
+              line_counts: Sequence[int] = None,
+              pages: int = DEFAULT_PAGES,
+              strategies: Sequence[str] = ("kona-cl-log", "ideal-4k-nocopy",
+                                           "ideal-cl-nocopy"),
+              latency: LatencyModel = DEFAULT_LATENCY) -> Fig11Result:
+    """Panels (a)/(b): relative goodput sweep."""
+    if line_counts is None:
+        line_counts = (CONTIG_LINES if pattern == "contiguous"
+                       else ALTERNATE_LINES)
+    result = Fig11Result(pattern=pattern)
+    for name in strategies:
+        strategy = STRATEGIES[name]
+        result.relative_goodput[name] = {}
+        for n in line_counts:
+            baseline = kona_vm_4k(pages, n, pattern, latency)
+            measured = strategy(pages, n, pattern, latency)
+            result.relative_goodput[name][n] = (
+                measured.goodput_relative_to(baseline))
+    return result
+
+
+def run_fig11c_breakdown(line_counts: Sequence[int] = FIG11C_LINES,
+                         pages: int = DEFAULT_PAGES,
+                         latency: LatencyModel = DEFAULT_LATENCY
+                         ) -> Dict[int, Dict[str, float]]:
+    """Panel (c): CL-log time fractions per dirty density, plus totals.
+
+    Returns {n_lines: {bucket: fraction, "total_ms": ms}}.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for n in line_counts:
+        result = kona_cl_log(pages, n, "contiguous", latency)
+        fractions = dict(result.account.fractions())
+        fractions["total_ms"] = units.ns_to_ms(result.total_ns)
+        out[n] = fractions
+    return out

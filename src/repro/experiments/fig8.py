@@ -1,0 +1,102 @@
+"""Figure 8: AMAT vs local cache size and fetch block size (section 6.2).
+
+Panels (a)-(c) sweep the local cache from 0% to 100% of the data set
+for Redis-Rand, Linear Regression, and Graph Coloring, pricing the same
+simulated miss profile under Kona, Kona-main, LegoOS and Infiniswap.
+Panel (d) sweeps the fetch block size from 64 B to 30 KB at several
+cache sizes (Redis-Rand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from .. import units
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..tools.kcachesim import KCacheSim
+from ..workloads.amat import AMAT_SPECS
+
+#: Cache sizes on the x-axis (% of the data set, as in the paper).
+CACHE_FRACTIONS = (0.0, 0.25, 0.50, 0.75, 1.0)
+#: Block sizes for panel (d): cache-line up to ~30 KB (the model's
+#: set-associative geometry needs powers of two, so 32 KB stands in
+#: for the paper's 30 KB endpoint).
+BLOCK_SIZES = (64, 256, 1024, 4096, 8192, 16384, 32 * units.KB)
+#: Cache fractions shown in panel (d).
+FIG8D_FRACTIONS = (0.27, 0.54, 1.0)
+
+SYSTEMS = ("kona", "kona-main", "legoos", "infiniswap")
+
+
+@dataclass
+class Fig8Result:
+    """AMAT (ns) indexed by [workload][system][cache_fraction]."""
+
+    amat_ns: Dict[str, Dict[str, Dict[float, float]]] = field(
+        default_factory=dict)
+
+    def improvement_at(self, workload: str, fraction: float,
+                       baseline: str) -> float:
+        """Kona's AMAT advantage over ``baseline`` at one cache size."""
+        series = self.amat_ns[workload]
+        return series[baseline][fraction] / series["kona"][fraction]
+
+    def numa_overhead(self, workload: str, fraction: float) -> float:
+        """Kona's overhead vs Kona-main (the FMem NUMA penalty)."""
+        series = self.amat_ns[workload]
+        return (series["kona"][fraction] / series["kona-main"][fraction]
+                - 1.0)
+
+    def rows(self, workload: str):
+        """(cache %, kona, kona-main, legoos, infiniswap) rows."""
+        series = self.amat_ns[workload]
+        for fraction in sorted(series["kona"]):
+            yield (int(fraction * 100),
+                   *(series[s][fraction] for s in SYSTEMS))
+
+
+def run_fig8_amat(workloads: Sequence[str] = ("redis-rand",
+                                              "linear-regression",
+                                              "graph-coloring"),
+                  fractions: Sequence[float] = CACHE_FRACTIONS,
+                  data_bytes: int = 16 * units.MB,
+                  num_ops: int = 40_000,
+                  latency: LatencyModel = DEFAULT_LATENCY,
+                  seed: int = 0) -> Fig8Result:
+    """Panels (a)-(c): AMAT as a function of local cache size."""
+    result = Fig8Result()
+    for name in workloads:
+        spec = AMAT_SPECS[name](data_bytes=data_bytes)
+        sim = KCacheSim(spec, latency)
+        per_system: Dict[str, Dict[float, float]] = {s: {} for s in SYSTEMS}
+        for fraction in fractions:
+            run = sim.run(fraction, num_ops=num_ops, seed=seed)
+            for system in SYSTEMS:
+                per_system[system][fraction] = run.amat_ns(system)
+        result.amat_ns[name] = per_system
+    return result
+
+
+def run_fig8d_blocksize(blocks: Sequence[int] = BLOCK_SIZES,
+                        fractions: Sequence[float] = FIG8D_FRACTIONS,
+                        data_bytes: int = 16 * units.MB,
+                        num_ops: int = 40_000,
+                        latency: LatencyModel = DEFAULT_LATENCY,
+                        seed: int = 0) -> Dict[float, Dict[int, float]]:
+    """Panel (d): Kona AMAT by fetch block size, per cache fraction."""
+    spec = AMAT_SPECS["redis-rand"](data_bytes=data_bytes)
+    sim = KCacheSim(spec, latency)
+    out: Dict[float, Dict[int, float]] = {}
+    for fraction in fractions:
+        out[fraction] = {
+            block: sim.run(fraction, block_size=block,
+                           num_ops=num_ops, seed=seed).amat_ns("kona")
+            for block in blocks
+        }
+    return out
+
+
+def best_block(sweep: Dict[int, float]) -> int:
+    """The block size with the lowest AMAT in one panel-(d) series."""
+    return min(sweep, key=sweep.get)

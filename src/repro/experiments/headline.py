@@ -1,0 +1,78 @@
+"""The paper's headline claims, measured in one call.
+
+Abstract/§1: coherence-based remote memory "improves average memory
+access time by 1.7-5X and reduces dirty data amplification by 2-10X,
+compared to state-of-the-art systems", improves dirty-tracking
+performance by up to 35%, and improves eviction network goodput 4-5X.
+This module computes each headline number from the same experiment
+drivers the figures use, for the CLI's summary view and the README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis import paper
+from .fig8 import run_fig8_amat
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+from .fig11 import run_fig11
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Measured headline metrics next to the paper's claims."""
+
+    amat_vs_legoos: float            # paper: 1.7X
+    amat_vs_infiniswap: float        # paper: 5X
+    amplification_band: Tuple[float, float]   # paper: 2-10X
+    max_tracking_speedup_pct: float  # paper: 35%
+    goodput_band: Tuple[float, float]          # paper: 4-5X (1-4 lines)
+
+    def rows(self):
+        """(claim, paper, measured) rows."""
+        yield ("AMAT vs LegoOS @25% cache", "1.7X",
+               f"{self.amat_vs_legoos:.1f}X")
+        yield ("AMAT vs Infiniswap @25% cache", "5X",
+               f"{self.amat_vs_infiniswap:.1f}X")
+        yield ("dirty amplification reduction", "2-10X",
+               f"{self.amplification_band[0]:.1f}-"
+               f"{self.amplification_band[1]:.1f}X")
+        yield ("max tracking speedup", "35%",
+               f"{self.max_tracking_speedup_pct:.0f}%")
+        yield ("eviction goodput (1-4 dirty lines)", "4-5X",
+               f"{self.goodput_band[0]:.1f}-{self.goodput_band[1]:.1f}X")
+
+    def all_claims_hold(self) -> bool:
+        """Whether every headline lands inside its asserted band."""
+        checks = [
+            paper.within(self.amat_vs_legoos,
+                         paper.FIG8_KONA_VS_LEGOOS_AT_25),
+            paper.within(self.amat_vs_infiniswap,
+                         paper.FIG8_KONA_VS_INFINISWAP_AT_25),
+            self.amplification_band[0] >= 1.8,
+            self.amplification_band[1] <= 11.0,
+            30.0 <= self.max_tracking_speedup_pct <= 38.0,
+            all(paper.within(g, paper.FIG11A_CONTIG_1_4)
+                for g in self.goodput_band),
+        ]
+        return all(checks)
+
+
+def run_headline(num_ops: int = 30_000) -> HeadlineResult:
+    """Measure every abstract-level claim."""
+    fig8 = run_fig8_amat(workloads=("redis-rand",), num_ops=num_ops)
+    fig9 = run_fig9(windows_rand=30, windows_seq=16)
+    fig10 = run_fig10()
+    fig11 = run_fig11(pattern="contiguous", line_counts=(1, 2, 4))
+    kona_goodput = [v for _, v in fig11.series("kona-cl-log")]
+    band = fig9.band("redis-rand")
+    return HeadlineResult(
+        amat_vs_legoos=fig8.improvement_at("redis-rand", 0.25, "legoos"),
+        amat_vs_infiniswap=fig8.improvement_at("redis-rand", 0.25,
+                                               "infiniswap"),
+        amplification_band=(max(band[0], 1.0), band[1]),
+        max_tracking_speedup_pct=max(fig10.speedup_pct.values()),
+        goodput_band=(min(kona_goodput), max(kona_goodput)),
+    )

@@ -1,0 +1,96 @@
+"""Per-cache-line dirty bitmap — the `track-local-data` primitive's state.
+
+A 4 KB page has exactly 64 cache lines, so one Python int per page is a
+full bitmask.  The FPGA sets a bit on every dirty writeback it observes
+(paper section 4.3); the eviction handler reads and clears masks when
+it writes pages out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..common import units
+from ..common.errors import AddressError
+from ..common.stats import Counter
+
+_FULL_PAGE_MASK = (1 << units.LINES_PER_PAGE) - 1
+
+
+class DirtyBitmap:
+    """Cache-line-granularity dirty tracking over an address space."""
+
+    def __init__(self, page_size: int = units.PAGE_4K) -> None:
+        if page_size % units.PAGE_4K:
+            raise AddressError(f"page size {page_size} not 4 KiB aligned")
+        self.page_size = page_size
+        self.lines_per_page = page_size // units.CACHE_LINE
+        self._masks: Dict[int, int] = {}
+        self.counters = Counter()
+
+    def mark_line(self, line_addr: int) -> None:
+        """Set the dirty bit for the line at byte address ``line_addr``."""
+        if line_addr % units.CACHE_LINE:
+            raise AddressError(f"{line_addr:#x} not line aligned")
+        page = line_addr // self.page_size
+        bit = (line_addr % self.page_size) // units.CACHE_LINE
+        self._masks[page] = self._masks.get(page, 0) | (1 << bit)
+        self.counters.add("lines_marked")
+
+    def page_mask(self, page: int) -> int:
+        """Dirty-line bitmask for page index ``page`` (0 if clean)."""
+        return self._masks.get(page, 0)
+
+    def dirty_lines_of(self, page: int) -> List[int]:
+        """Byte addresses of the dirty lines in ``page`` (sorted)."""
+        mask = self._masks.get(page, 0)
+        base = page * self.page_size
+        return [base + i * units.CACHE_LINE
+                for i in range(self.lines_per_page) if mask & (1 << i)]
+
+    def dirty_line_count(self, page: int) -> int:
+        """Popcount of the page's dirty mask."""
+        return self._masks.get(page, 0).bit_count()
+
+    def is_fully_dirty(self, page: int) -> bool:
+        """True if every line of the page is dirty (whole-page writeback
+        is then cheaper than a cache-line log)."""
+        return (self._masks.get(page, 0) & _FULL_PAGE_MASK) == _FULL_PAGE_MASK
+
+    def clear_page(self, page: int) -> int:
+        """Clear and return the page's mask (eviction consumed it)."""
+        mask = self._masks.pop(page, 0)
+        if mask:
+            self.counters.add("pages_cleared")
+        return mask
+
+    def dirty_pages(self) -> Iterator[int]:
+        """Page indices with at least one dirty line."""
+        return (p for p, m in self._masks.items() if m)
+
+    def total_dirty_lines(self) -> int:
+        """Dirty lines across the whole bitmap."""
+        return sum(m.bit_count() for m in self._masks.values())
+
+    def total_dirty_bytes(self) -> int:
+        """Dirty bytes at cache-line granularity."""
+        return self.total_dirty_lines() * units.CACHE_LINE
+
+    def segments_of(self, page: int) -> List[Tuple[int, int]]:
+        """Contiguous dirty runs in a page as ``(first_line, length)``.
+
+        Contiguity drives the RDMA transfer strategy (paper section 6.4
+        and Figure 3).
+        """
+        mask = self._masks.get(page, 0)
+        segments: List[Tuple[int, int]] = []
+        i = 0
+        while i < self.lines_per_page:
+            if mask & (1 << i):
+                start = i
+                while i < self.lines_per_page and mask & (1 << i):
+                    i += 1
+                segments.append((start, i - start))
+            else:
+                i += 1
+        return segments

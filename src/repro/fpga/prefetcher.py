@@ -1,0 +1,151 @@
+"""Prefetch policies for the FPGA fetch engine.
+
+The paper's observation (sections 3, 4.4): page faults serialize
+execution and hardware prefetchers cannot cross a faulting page
+boundary, so page-based remote memory forfeits prefetching entirely.
+Kona's fault-free path re-enables it — and then the *policy* matters.
+
+Three policies, ordered by sophistication:
+
+* :class:`NextPagePrefetcher` — fetch page N+1 on an access to page N
+  (the classic next-line scheme; what the agent's built-in flag does);
+* :class:`StridePrefetcher` — detect a constant page stride from the
+  last accesses and fetch ahead along it;
+* :class:`LeapPrefetcher` — the majority-trend algorithm of Leap
+  (Maruf & Chowdhury, ATC'20, the paper's reference [57]): keep a
+  window of recent deltas, find the majority delta, and prefetch a
+  growing number of pages along it while the trend holds.
+
+Policies see the page-access stream and return page indices to
+prefetch; the agent fills FMem with them off the critical path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from collections import deque
+from typing import Deque, List, Optional, Protocol
+
+from ..common.errors import ConfigError
+
+
+class Prefetcher(Protocol):
+    """Page-prefetch policy interface."""
+
+    def on_access(self, page: int) -> List[int]:
+        """Observe an accessed page; return pages to prefetch."""
+
+
+class NoPrefetcher:
+    """The do-nothing policy (what page-based systems are stuck with)."""
+
+    def on_access(self, page: int) -> List[int]:
+        return []
+
+
+class NextPagePrefetcher:
+    """Fetch page N+1 whenever page N is accessed."""
+
+    def __init__(self, depth: int = 1) -> None:
+        if depth < 1:
+            raise ConfigError("depth must be >= 1")
+        self.depth = depth
+        self._last: Optional[int] = None
+
+    def on_access(self, page: int) -> List[int]:
+        if page == self._last:
+            return []
+        self._last = page
+        return [page + i for i in range(1, self.depth + 1)]
+
+
+class StridePrefetcher:
+    """Constant-stride detection over the last few accesses."""
+
+    def __init__(self, depth: int = 2, confirm: int = 2) -> None:
+        if depth < 1 or confirm < 1:
+            raise ConfigError("depth and confirm must be >= 1")
+        self.depth = depth
+        self.confirm = confirm
+        self._last: Optional[int] = None
+        self._stride: Optional[int] = None
+        self._confidence = 0
+
+    def on_access(self, page: int) -> List[int]:
+        out: List[int] = []
+        if self._last is not None:
+            delta = page - self._last
+            if delta != 0:
+                if delta == self._stride:
+                    self._confidence = min(self._confidence + 1,
+                                           self.confirm)
+                else:
+                    self._stride = delta
+                    self._confidence = 1
+                if self._confidence >= self.confirm:
+                    out = [page + self._stride * i
+                           for i in range(1, self.depth + 1)]
+        self._last = page
+        return out
+
+
+class LeapPrefetcher:
+    """Majority-trend prefetching (Leap, ATC'20).
+
+    Keeps a sliding window of recent access deltas; if one delta holds
+    a strict majority of the window, prefetches along it with a window
+    that doubles while the trend keeps winning (capped), and resets on
+    trend loss — this is what lets Leap survive the short irregular
+    bursts that break a rigid stride detector.
+    """
+
+    def __init__(self, window: int = 8, max_depth: int = 8) -> None:
+        if window < 2 or max_depth < 1:
+            raise ConfigError("window must be >= 2 and max_depth >= 1")
+        self.window = window
+        self.max_depth = max_depth
+        self._deltas: Deque[int] = deque(maxlen=window)
+        self._last: Optional[int] = None
+        self._depth = 1
+
+    def on_access(self, page: int) -> List[int]:
+        out: List[int] = []
+        if self._last is not None:
+            delta = page - self._last
+            if delta != 0:
+                self._deltas.append(delta)
+                majority = self._majority_delta()
+                if majority is not None:
+                    out = [page + majority * i
+                           for i in range(1, self._depth + 1)]
+                    self._depth = min(self._depth * 2, self.max_depth)
+                else:
+                    self._depth = 1
+        self._last = page
+        return out
+
+    def _majority_delta(self) -> Optional[int]:
+        if len(self._deltas) < 2:
+            return None
+        delta, count = _Counter(self._deltas).most_common(1)[0]
+        if count * 2 > len(self._deltas):
+            return delta
+        return None
+
+
+PREFETCHERS = {
+    "none": NoPrefetcher,
+    "next-page": NextPagePrefetcher,
+    "stride": StridePrefetcher,
+    "leap": LeapPrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a prefetch policy by name."""
+    try:
+        return PREFETCHERS[name](**kwargs)
+    except KeyError:
+        raise ConfigError(
+            f"unknown prefetcher {name!r}; choose from "
+            f"{sorted(PREFETCHERS)}") from None

@@ -1,0 +1,113 @@
+"""Address translation metadata kept by the FPGA (paper section 4.4).
+
+Two maps:
+
+* **Remote translation** — a hashmap from VFMem slab-sized windows to
+  (memory node, remote address).  KLib's resource manager writes it in
+  shared memory when slabs are allocated; the FPGA only reads it, when
+  fetching a missing page or writing dirty data back.
+* **Local translation** — which VFMem pages are cached in FMem and in
+  which frame; owned by :class:`repro.fpga.fmem.FMemCache`, but the
+  lookup interface lives here so the agent has one translation facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common import units
+from ..common.errors import ConfigError, TranslationError
+from ..cluster.slab import Slab
+
+
+@dataclass(frozen=True)
+class RemoteLocation:
+    """Where a VFMem byte lives in the rack."""
+
+    node: str
+    remote_addr: int
+
+
+class RemoteTranslationMap:
+    """VFMem ranges -> remote slabs; written by software, read by the FPGA.
+
+    Lookups must be fast at page granularity, so the map indexes by
+    slab-aligned VFMem offset.  All registered windows must be
+    slab-sized and slab-aligned relative to the VFMem base.
+    """
+
+    def __init__(self, vfmem_base: int, slab_bytes: int) -> None:
+        if slab_bytes <= 0 or slab_bytes % units.PAGE_4K:
+            raise ConfigError(f"slab_bytes {slab_bytes} invalid")
+        self.vfmem_base = vfmem_base
+        self.slab_bytes = slab_bytes
+        self._slots: Dict[int, Slab] = {}
+        #: Replica slabs per slot (paper section 4.5, memory failures).
+        self._replicas: Dict[int, List[Slab]] = {}
+
+    def _slot_of(self, vfmem_addr: int) -> int:
+        offset = vfmem_addr - self.vfmem_base
+        if offset < 0:
+            raise TranslationError(
+                f"address {vfmem_addr:#x} below VFMem base")
+        return offset // self.slab_bytes
+
+    def bind(self, vfmem_addr: int, slab: Slab,
+             replicas: Optional[List[Slab]] = None) -> None:
+        """Map the slab-sized VFMem window at ``vfmem_addr`` to ``slab``."""
+        if (vfmem_addr - self.vfmem_base) % self.slab_bytes:
+            raise TranslationError(
+                f"{vfmem_addr:#x} is not slab-aligned in VFMem")
+        if slab.size != self.slab_bytes:
+            raise ConfigError(
+                f"slab size {slab.size} != map slab_bytes {self.slab_bytes}")
+        slot = self._slot_of(vfmem_addr)
+        if slot in self._slots:
+            raise TranslationError(f"VFMem slot {slot} already bound")
+        self._slots[slot] = slab
+        if replicas:
+            for replica in replicas:
+                if replica.size != self.slab_bytes:
+                    raise ConfigError("replica slab size mismatch")
+            self._replicas[slot] = list(replicas)
+
+    def unbind(self, vfmem_addr: int) -> Tuple[Slab, List[Slab]]:
+        """Remove a window's binding; returns (primary, replicas)."""
+        slot = self._slot_of(vfmem_addr)
+        try:
+            slab = self._slots.pop(slot)
+        except KeyError:
+            raise TranslationError(f"VFMem slot {slot} not bound") from None
+        return slab, self._replicas.pop(slot, [])
+
+    def resolve(self, vfmem_addr: int) -> RemoteLocation:
+        """Translate a VFMem byte address to its primary remote location."""
+        slot = self._slot_of(vfmem_addr)
+        slab = self._slots.get(slot)
+        if slab is None:
+            raise TranslationError(
+                f"VFMem address {vfmem_addr:#x} has no remote backing")
+        offset = (vfmem_addr - self.vfmem_base) % self.slab_bytes
+        return RemoteLocation(node=slab.node,
+                              remote_addr=slab.remote_range.start + offset)
+
+    def resolve_replicas(self, vfmem_addr: int) -> List[RemoteLocation]:
+        """All remote locations (primary first) for a VFMem address."""
+        slot = self._slot_of(vfmem_addr)
+        offset = (vfmem_addr - self.vfmem_base) % self.slab_bytes
+        out = [self.resolve(vfmem_addr)]
+        for replica in self._replicas.get(slot, []):
+            out.append(RemoteLocation(
+                node=replica.node,
+                remote_addr=replica.remote_range.start + offset))
+        return out
+
+    @property
+    def bound_slots(self) -> int:
+        """Number of VFMem windows currently backed."""
+        return len(self._slots)
+
+    def bound_bytes(self) -> int:
+        """Remote bytes reachable through the map (primary copies)."""
+        return len(self._slots) * self.slab_bytes

@@ -1,0 +1,36 @@
+"""Kona: the coherence-based remote-memory runtime (the paper's core)."""
+
+from .alloclib import AllocLib
+from .config import KonaConfig
+from .eviction import EvictionHandler, EvictionStats
+from .failures import (
+    FailureManager,
+    FallbackMode,
+    FetchOutcome,
+    MachineCheckException,
+)
+from .poller import Poller
+from .resource_manager import ResourceManager
+from .runtime import VFMEM_BASE, KonaRuntime, build_rack
+from .telemetry import TelemetrySnapshot, snapshot
+from .tracker import DirtyDataTracker, SnapshotDiffTracker
+
+__all__ = [
+    "AllocLib",
+    "DirtyDataTracker",
+    "EvictionHandler",
+    "EvictionStats",
+    "FailureManager",
+    "FallbackMode",
+    "FetchOutcome",
+    "KonaConfig",
+    "KonaRuntime",
+    "MachineCheckException",
+    "Poller",
+    "ResourceManager",
+    "SnapshotDiffTracker",
+    "TelemetrySnapshot",
+    "VFMEM_BASE",
+    "build_rack",
+    "snapshot",
+]

@@ -1,0 +1,134 @@
+"""Failure mitigation (paper section 4.5).
+
+Three failure classes and their Kona-side handling:
+
+1. **Application/compute-host crash** — out of scope for the runtime
+   (same blast radius as a monolithic server); nothing to model here.
+2. **Network failure or delay** — dangerous because cache-coherence
+   protocols are not built for unbounded latency: a stalled remote
+   fetch turns into a machine check exception (MCE).  Kona either
+   handles the MCE (Intel machine-check architecture) or falls back to
+   page-fault mode: mark the affected pages not-present so the next
+   access traps to software, which can wait, retry, or report.
+3. **Memory-node failure** — survivable with eviction-time replication:
+   reads fail over to a replica; lost nodes are repopulated lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional
+
+from ..common.errors import NodeFailure, ReproError
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.stats import Counter
+from ..cluster.controller import RackController
+from ..fpga.translation import RemoteLocation, RemoteTranslationMap
+from ..mem.pagetable import PageTable
+
+
+class MachineCheckException(ReproError):
+    """The coherence protocol timed out waiting for remote data."""
+
+
+class FallbackMode(Enum):
+    """How the runtime reacts to a network timeout."""
+
+    MCE_HANDLER = auto()         # catch the MCE, retry in the handler
+    PAGE_FAULT_FALLBACK = auto() # mark pages not-present, trap to software
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """Result of a failure-aware remote fetch."""
+
+    location: RemoteLocation
+    used_replica: bool
+    retries: int
+    extra_latency_ns: float
+
+
+class FailureManager:
+    """Implements the fetch-side failure policy."""
+
+    def __init__(self, translation: RemoteTranslationMap,
+                 controller: RackController,
+                 mode: FallbackMode = FallbackMode.PAGE_FAULT_FALLBACK,
+                 page_table: Optional[PageTable] = None,
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 coherence_timeout_ns: float = 100_000.0) -> None:
+        self.translation = translation
+        self.controller = controller
+        self.mode = mode
+        self.page_table = page_table
+        self.latency = latency
+        self.coherence_timeout_ns = coherence_timeout_ns
+        self.counters = Counter()
+        self.degraded_pages: List[int] = []
+
+    # -- fetch path ----------------------------------------------------------------
+
+    def resolve_for_fetch(self, vfmem_addr: int) -> FetchOutcome:
+        """Pick a live location for a fetch, failing over to replicas.
+
+        Raises :class:`MachineCheckException` (MCE mode) or
+        :class:`NodeFailure` after page-fault degradation (fallback
+        mode) when no replica is reachable.
+        """
+        locations = self.translation.resolve_replicas(vfmem_addr)
+        retries = 0
+        for i, location in enumerate(locations):
+            node = self.controller.node(location.node)
+            if node.alive:
+                if i > 0:
+                    self.counters.add("replica_failovers")
+                return FetchOutcome(location=location, used_replica=i > 0,
+                                    retries=retries,
+                                    extra_latency_ns=retries
+                                    * self.coherence_timeout_ns)
+            retries += 1
+            self.counters.add("dead_primaries" if i == 0 else "dead_replicas")
+        return self._all_replicas_down(vfmem_addr, retries)
+
+    def _all_replicas_down(self, vfmem_addr: int, retries: int) -> FetchOutcome:
+        if self.mode is FallbackMode.MCE_HANDLER:
+            self.counters.add("mce_raised")
+            raise MachineCheckException(
+                f"fetch of {vfmem_addr:#x} timed out on all replicas")
+        # PAGE_FAULT_FALLBACK: degrade the page so software sees a fault
+        # on the next access and can wait for the outage to clear.
+        self.counters.add("pages_degraded")
+        if self.page_table is not None:
+            vpn = self.page_table.vpn_of(vfmem_addr)
+            if self.page_table.entry(vpn) is not None:
+                self.page_table.mark_not_present(vpn)
+            self.degraded_pages.append(vpn)
+        raise NodeFailure(
+            f"all replicas for {vfmem_addr:#x} are down; "
+            f"page degraded to fault-on-access")
+
+    # -- network-delay handling ---------------------------------------------------------
+
+    def classify_delay(self, observed_latency_ns: float) -> bool:
+        """Return True if a fetch latency would trip the coherence timeout.
+
+        Callers use this to decide between absorbing a slow fetch and
+        taking the fallback path.
+        """
+        tripped = observed_latency_ns > self.coherence_timeout_ns
+        if tripped:
+            self.counters.add("timeouts_detected")
+        return tripped
+
+    def recover_degraded(self) -> int:
+        """Re-arm degraded pages after the outage clears; returns count."""
+        count = len(self.degraded_pages)
+        if self.page_table is not None:
+            for vpn in self.degraded_pages:
+                if self.page_table.entry(vpn) is not None:
+                    self.page_table.mark_present(vpn, pfn=vpn)
+        self.degraded_pages.clear()
+        if count:
+            self.counters.add("recoveries")
+        return count

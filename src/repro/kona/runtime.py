@@ -1,0 +1,305 @@
+"""KLib: the Kona runtime facade.
+
+This is the library an application links against (paper Figure 4).  It
+assembles the whole stack — rack controller, memory nodes, FPGA memory
+agent, CPU coherent cache, resource manager, AllocLib, dirty-data
+tracker, eviction handler, poller — and exposes the application-facing
+operations: ``malloc``/``free``/``mmap`` plus ``read``/``write`` memory
+accesses, all transparently backed by disaggregated memory.
+
+Time accounting: every access returns its critical-path cost; the
+runtime splits time into application compute, FMem hits, remote
+fetches, and (background) eviction so the experiment harness can
+reproduce the paper's breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..common import units
+from ..common.clock import Account
+from ..common.errors import AddressError, ConfigError
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.stats import Counter
+from ..cluster.controller import RackController
+from ..cluster.memnode import MemoryNode
+from ..coherence.agent import CoherentCache
+from ..coherence.states import Protocol
+from ..fpga.agent import AgentConfig, MemoryAgent
+from ..fpga.fmem import FMemCache
+from ..fpga.translation import RemoteTranslationMap
+from ..mem.address import AddressRange, align_down
+from ..mem.pagetable import PageTable
+from ..net.fabric import Fabric
+from ..vm.swap import ExecutionReport
+from .alloclib import AllocLib
+from .config import KonaConfig
+from .eviction import EvictionHandler
+from .failures import FailureManager, FallbackMode
+from .poller import Poller
+from .resource_manager import ResourceManager
+from .tracker import DirtyDataTracker
+
+#: Physical base address where the FPGA exposes VFMem.
+VFMEM_BASE = 4 * units.GB
+
+
+def build_rack(fabric: Fabric, num_nodes: int, node_capacity: int,
+               slab_bytes: int) -> RackController:
+    """Stand up a rack controller with ``num_nodes`` memory nodes."""
+    controller = RackController()
+    for i in range(num_nodes):
+        node = MemoryNode(f"mem{i}", node_capacity, fabric,
+                          slab_bytes=slab_bytes)
+        controller.register_node(node)
+    return controller
+
+
+class KonaRuntime:
+    """A complete Kona deployment for one application."""
+
+    def __init__(self, config: Optional[KonaConfig] = None,
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 controller: Optional[RackController] = None,
+                 fabric: Optional[Fabric] = None,
+                 num_memory_nodes: int = 2,
+                 cpu_cache_capacity: int = 8 * units.MB,
+                 app_ns_per_access: float = 70.0,
+                 failure_mode: FallbackMode = FallbackMode.PAGE_FAULT_FALLBACK
+                 ) -> None:
+        self.config = config if config is not None else KonaConfig()
+        self.latency = latency
+        self.app_ns_per_access = app_ns_per_access
+        cfg = self.config
+
+        # -- rack ------------------------------------------------------------
+        self.fabric = fabric if fabric is not None else Fabric(latency)
+        if not self.fabric.has_node("compute"):
+            self.fabric.add_node("compute")
+        if controller is None:
+            per_node = max(
+                2 * cfg.vfmem_capacity // max(num_memory_nodes, 1),
+                4 * cfg.slab_bytes)
+            controller = build_rack(self.fabric, num_memory_nodes,
+                                    per_node, cfg.slab_bytes)
+        self.controller = controller
+
+        # -- compute-node hardware --------------------------------------------
+        self.vfmem = AddressRange(VFMEM_BASE, cfg.vfmem_capacity)
+        self.fmem = FMemCache(cfg.fmem_capacity, cfg.page_size, cfg.fmem_ways)
+        self.translation = RemoteTranslationMap(self.vfmem.start,
+                                                cfg.slab_bytes)
+        self.page_table = PageTable(cfg.page_size)
+        self.failures = FailureManager(self.translation, self.controller,
+                                       mode=failure_mode,
+                                       page_table=self.page_table,
+                                       latency=latency)
+        prefetcher = None
+        if cfg.prefetch_policy != "none":
+            from ..fpga.prefetcher import make_prefetcher
+            prefetcher = make_prefetcher(cfg.prefetch_policy)
+        self.agent = MemoryAgent(
+            self.vfmem, self.fmem, self.translation, latency,
+            AgentConfig(fetch_block=cfg.fetch_block,
+                        prefetch_next_page=cfg.prefetch_next_page,
+                        eager_upgrade_tracking=cfg.eager_upgrade_tracking),
+            remote_read_ns=self._remote_read_ns,
+            locate=self._locate_with_failover,
+            prefetcher=prefetcher,
+            protocol=Protocol(cfg.protocol),
+        )
+        self.cpu_cache = CoherentCache(
+            agent_id=0, resolver=self._directory_for,
+            capacity=cpu_cache_capacity, protocol=Protocol(cfg.protocol))
+        self.cpu_cache.attach(self.agent.directory)
+
+        # -- KLib components -----------------------------------------------------
+        self.resource_manager = ResourceManager(
+            cfg, self.controller, self.translation, self.vfmem,
+            self.page_table)
+        self.alloclib = AllocLib(self.resource_manager)
+        self.tracker = DirtyDataTracker(self.agent.bitmap, cfg.page_size)
+        self.eviction = EvictionHandler(cfg, self.translation,
+                                        self.controller, latency)
+        self.agent.on_page_eviction(self._eviction_sink)
+        self.poller = Poller()
+
+        # -- accounting ------------------------------------------------------------
+        self.account = Account()
+        self.counters = Counter()
+        self.background_ns = 0.0
+
+    # -- wiring helpers -----------------------------------------------------------
+
+    def _directory_for(self, line_addr: int):
+        return self.agent.directory if line_addr in self.vfmem else None
+
+    def _remote_read_ns(self, node: str, nbytes: int) -> float:
+        # The FPGA agent's fetch completes when the data arrives on the
+        # coherent link; there is no CQE for software to poll on the
+        # critical path (hardware data path, section 3).
+        return self.fabric.transfer_cost_ns("compute", node, nbytes,
+                                            linked=True, signaled=False)
+
+    def _locate_with_failover(self, vfmem_addr: int):
+        outcome = self.failures.resolve_for_fetch(vfmem_addr)
+        if outcome.used_replica:
+            self.counters.add("replica_reads")
+        if outcome.extra_latency_ns:
+            self.account.charge("failover_wait", outcome.extra_latency_ns)
+        return outcome.location
+
+    def _eviction_sink(self, vfmem_page_addr: int, dirty_mask: int) -> None:
+        # Eviction runs off the critical path (paper section 4.4): the
+        # handler's time accrues to the background budget.
+        self.background_ns += self.eviction.evict_page(vfmem_page_addr,
+                                                       dirty_mask)
+
+    # -- allocation API ---------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Transparent allocation backed by disaggregated memory."""
+        return self.alloclib.malloc(size)
+
+    def free(self, addr: int) -> None:
+        """Release an allocation."""
+        self.alloclib.free(addr)
+
+    def mmap(self, size: int) -> AddressRange:
+        """Map a large region backed by disaggregated memory."""
+        return self.alloclib.mmap(size)
+
+    # -- data-path API -----------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> float:
+        """One memory access; returns its critical-path latency in ns.
+
+        A CPU-cache hit costs nothing extra beyond application compute;
+        a miss pays the FMem or remote-fetch latency the agent reports.
+        Page faults never appear on this path — VFMem pages are always
+        present.
+        """
+        if addr not in self.vfmem:
+            raise AddressError(f"{addr:#x} is not Kona-managed memory")
+        hit = self.cpu_cache.access(addr, is_write)
+        if hit:
+            self.counters.add("cache_hits")
+            return 0.0
+        cost = self.agent.last_access_ns
+        self.account.charge("memory_stall", cost)
+        self.counters.add("cache_misses")
+        return cost
+
+    def read(self, addr: int, size: int = units.WORD) -> float:
+        """Read ``size`` bytes; returns total stall ns across lines."""
+        return self._span_access(addr, size, is_write=False)
+
+    def write(self, addr: int, size: int = units.WORD) -> float:
+        """Write ``size`` bytes; returns total stall ns across lines."""
+        return self._span_access(addr, size, is_write=True)
+
+    def _span_access(self, addr: int, size: int, is_write: bool) -> float:
+        if size <= 0:
+            raise ConfigError(f"access of {size} bytes")
+        first = align_down(addr, units.CACHE_LINE)
+        last = align_down(addr + size - 1, units.CACHE_LINE)
+        total = 0.0
+        for line in range(first, last + 1, units.CACHE_LINE):
+            total += self.access(line, is_write)
+        return total
+
+    def run_workload(self, model, windows: int = 2, seed: int = 0,
+                     max_accesses: Optional[int] = None) -> ExecutionReport:
+        """Run a :class:`~repro.workloads.base.WorkloadModel` end to end.
+
+        Convenience wrapper: generates the workload's trace, maps a
+        region for its heap, rebases the addresses into Kona-managed
+        memory and executes the stream.  ``max_accesses`` truncates the
+        stream for quick runs.
+        """
+        trace = model.generate(windows=windows, seed=seed)
+        region = self.mmap(model.memory_bytes)
+        n = len(trace) if max_accesses is None else min(max_accesses,
+                                                        len(trace))
+        addrs = trace.addrs[:n] + np.uint64(region.start)
+        writes = trace.writes[:n].copy()
+        report = self.run_trace(addrs, writes)
+        report.name = f"kona[{model.name}]"
+        return report
+
+    def run_trace(self, addrs: np.ndarray, writes: np.ndarray) -> ExecutionReport:
+        """Execute an access stream; returns the same report shape as
+        the page-based engine, so Figure 7 can compare them directly."""
+        if addrs.shape != writes.shape:
+            raise ConfigError("addrs and writes must have identical shape")
+        stall = 0.0
+        access = self.access
+        maybe_evict = self.maybe_evict
+        for i, (addr, is_write) in enumerate(zip(addrs.tolist(),
+                                                 writes.tolist())):
+            stall += access(int(addr), is_write)
+            if i & 0xFF == 0:
+                maybe_evict()   # background reclaimer ticks periodically
+        app = self.app_ns_per_access * addrs.size
+        self.account.charge("app_compute", app)
+        return ExecutionReport(
+            name="kona",
+            accesses=int(addrs.size),
+            elapsed_ns=stall + app,
+            background_ns=self.background_ns,
+            account=self.account,
+            counters=self.counters,
+            bytes_fetched=(self.agent.counters["remote_fetches"]
+                           * self.config.fetch_block),
+            bytes_written_back=self.eviction.stats.wire_bytes,
+        )
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def maybe_evict(self) -> int:
+        """Watermark-driven proactive eviction (config watermarks).
+
+        When FMem occupancy exceeds the high watermark, reclaim LRU
+        pages down to the low watermark — off the critical path, the
+        way the paper's Eviction Handler "monitors the cache
+        utilization and evicts pages to make room" (section 4.1).
+        Returns pages reclaimed.
+        """
+        if self.fmem.occupancy_fraction <= self.config.evict_high_watermark:
+            return 0
+        target = int(self.config.evict_low_watermark * self.fmem.num_frames)
+        count = self.fmem.occupancy - target
+        if count <= 0:
+            return 0
+        self.counters.add("watermark_reclaims")
+        return self.agent.proactive_evict(count)
+
+    def flush(self) -> float:
+        """Write everything back: CPU caches, FMem, pending logs.
+
+        Returns background ns consumed.  Used at teardown and by tests
+        asserting end-to-end dirty-data conservation.
+        """
+        before = self.background_ns
+        self.cpu_cache.flush_tracked()
+        for page_addr in self.fmem.resident_pages():
+            self.fmem.drop(page_addr)
+            mask = self.agent.bitmap.clear_page(
+                page_addr // self.config.page_size)
+            self.background_ns += self.eviction.evict_page(page_addr, mask)
+        self.background_ns += self.eviction.flush_all()
+        return self.background_ns - before
+
+    def close(self) -> None:
+        """Flush and release every slab back to the rack."""
+        self.flush()
+        self.resource_manager.release_all()
+
+    def __enter__(self) -> "KonaRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,92 @@
+"""Runtime telemetry: one structured snapshot of a Kona deployment.
+
+Production runtimes live and die by their observability; this module
+gathers every counter the components keep into a single report, with a
+rendered summary for logs and a dict for dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from .. import units
+from ..analysis.report import render_table
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Point-in-time view of a runtime's health and traffic."""
+
+    data: Dict[str, Dict[str, Any]]
+
+    def flat(self) -> Dict[str, Any]:
+        """Flatten to dotted keys (for metrics pipelines)."""
+        out: Dict[str, Any] = {}
+        for section, values in self.data.items():
+            for key, value in values.items():
+                out[f"{section}.{key}"] = value
+        return out
+
+    def render(self) -> str:
+        """Human-readable multi-section summary."""
+        blocks = []
+        for section, values in self.data.items():
+            rows = sorted(values.items())
+            blocks.append(render_table(["metric", "value"], rows,
+                                       title=section))
+        return "\n\n".join(blocks)
+
+
+def snapshot(runtime) -> TelemetrySnapshot:
+    """Collect a :class:`TelemetrySnapshot` from a KonaRuntime."""
+    fmem = runtime.fmem
+    eviction = runtime.eviction.stats
+    agent = runtime.agent
+    data: Dict[str, Dict[str, Any]] = {
+        "memory": {
+            "vfmem_bytes": runtime.vfmem.size,
+            "fmem_bytes": fmem.capacity,
+            "fmem_occupancy": fmem.occupancy,
+            "fmem_hit_ratio": round(fmem.hit_ratio, 4),
+            "bound_remote_bytes": runtime.resource_manager.bound_bytes,
+            "live_alloc_bytes": runtime.alloclib.live_bytes,
+        },
+        "fetch": {
+            "cache_hits": runtime.counters["cache_hits"],
+            "cache_misses": runtime.counters["cache_misses"],
+            "fmem_hits": agent.counters["fmem_hits"],
+            "remote_fetches": agent.counters["remote_fetches"],
+            "pages_prefetched": agent.counters["pages_prefetched"],
+        },
+        "tracking": {
+            "writebacks_tracked": agent.counters["writebacks_tracked"],
+            "lines_snooped": agent.counters["lines_snooped"],
+            "dirty_lines_pending": agent.bitmap.total_dirty_lines(),
+        },
+        "eviction": {
+            "pages_evicted": eviction.pages_evicted,
+            "clean_pages": eviction.clean_pages,
+            "full_page_writes": eviction.full_page_writes,
+            "lines_logged": eviction.lines_logged,
+            "dirty_bytes": eviction.dirty_bytes,
+            "wire_bytes": eviction.wire_bytes,
+            "goodput_mb_s": round(
+                eviction.goodput_bytes_per_s() / units.MB, 2)
+            if eviction.elapsed_ns > 0 else 0.0,
+        },
+        "faults": {
+            "page_faults": runtime.page_table.counters["faults_missing"],
+            "protection_faults":
+                runtime.page_table.counters["faults_protection"],
+            "replica_failovers":
+                runtime.failures.counters["replica_failovers"],
+            "degraded_pages": len(runtime.failures.degraded_pages),
+        },
+        "network": {
+            "transfers": runtime.fabric.counters["transfers"],
+            "bytes_moved": runtime.fabric.bytes_moved,
+            "failed_transfers": runtime.fabric.counters["failed_transfers"],
+        },
+    }
+    return TelemetrySnapshot(data=data)

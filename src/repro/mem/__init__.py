@@ -1,0 +1,46 @@
+"""Memory substrate: addresses, physical regions, page tables, TLBs."""
+
+from .address import (
+    AddressRange,
+    align_down,
+    align_up,
+    is_power_of_two,
+    line_in_page,
+    line_index,
+    line_indices,
+    page_index,
+    page_indices,
+    word_indices,
+)
+from .pagetable import (
+    FaultInfo,
+    PageTable,
+    PageTableEntry,
+    Protection,
+    raise_for_fault,
+)
+from .physical import AddressSpaceLayout, MemoryKind, PhysicalRegion
+from .tlb import TLB, ShootdownModel
+
+__all__ = [
+    "AddressRange",
+    "AddressSpaceLayout",
+    "FaultInfo",
+    "MemoryKind",
+    "PageTable",
+    "PageTableEntry",
+    "PhysicalRegion",
+    "Protection",
+    "ShootdownModel",
+    "TLB",
+    "align_down",
+    "align_up",
+    "is_power_of_two",
+    "line_in_page",
+    "line_index",
+    "line_indices",
+    "page_index",
+    "page_indices",
+    "raise_for_fault",
+    "word_indices",
+]

@@ -1,0 +1,116 @@
+"""Address arithmetic: pages, cache lines, and address ranges.
+
+Everything in the simulator speaks byte addresses (Python ints or numpy
+uint64 arrays).  This module centralizes the page/line index math so the
+granularity constants live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..common import units
+from ..common.errors import AddressError, ConfigError
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for positive powers of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def align_down(addr: int, granularity: int) -> int:
+    """Round ``addr`` down to a multiple of ``granularity``."""
+    return addr - (addr % granularity)
+
+
+def align_up(addr: int, granularity: int) -> int:
+    """Round ``addr`` up to a multiple of ``granularity``."""
+    return -(-addr // granularity) * granularity
+
+
+def page_index(addr: int, page_size: int = units.PAGE_4K) -> int:
+    """Index of the page containing ``addr``."""
+    return addr // page_size
+
+
+def line_index(addr: int) -> int:
+    """Global index of the 64 B cache line containing ``addr``."""
+    return addr // units.CACHE_LINE
+
+
+def line_in_page(addr: int, page_size: int = units.PAGE_4K) -> int:
+    """Index (0..63 for 4 KB pages) of the line within its page."""
+    return (addr % page_size) // units.CACHE_LINE
+
+
+def page_indices(addrs: np.ndarray, page_size: int = units.PAGE_4K) -> np.ndarray:
+    """Vectorized :func:`page_index` over a uint64 address array."""
+    return addrs // np.uint64(page_size)
+
+
+def line_indices(addrs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`line_index`."""
+    return addrs // np.uint64(units.CACHE_LINE)
+
+
+def word_indices(addrs: np.ndarray) -> np.ndarray:
+    """Vectorized index of the 8 B word containing each address."""
+    return addrs // np.uint64(units.WORD)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[start, start + size)``."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.size < 0:
+            raise ConfigError(f"invalid range start={self.start} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.start + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        """True if ``other`` lies entirely within this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True if the two ranges share at least one byte."""
+        return self.start < other.end and other.start < self.end
+
+    def offset_of(self, addr: int) -> int:
+        """Byte offset of ``addr`` from the start of the range."""
+        if addr not in self:
+            raise AddressError(f"address {addr:#x} outside {self}")
+        return addr - self.start
+
+    def pages(self, page_size: int = units.PAGE_4K) -> Iterator[int]:
+        """Iterate over the page indices the range touches."""
+        if self.size == 0:
+            return iter(())
+        first = page_index(self.start, page_size)
+        last = page_index(self.end - 1, page_size)
+        return iter(range(first, last + 1))
+
+    def split(self, chunk: int) -> Iterator["AddressRange"]:
+        """Split into consecutive sub-ranges of at most ``chunk`` bytes."""
+        if chunk <= 0:
+            raise ConfigError(f"chunk must be positive, got {chunk}")
+        offset = self.start
+        while offset < self.end:
+            size = min(chunk, self.end - offset)
+            yield AddressRange(offset, size)
+            offset += size
+
+    def __repr__(self) -> str:
+        return f"AddressRange[{self.start:#x}, {self.end:#x})"

@@ -1,0 +1,174 @@
+"""Page tables and protection bits for the virtual-memory model.
+
+The baselines (Infiniswap, LegoOS, Kona-VM) depend on virtual-memory
+machinery: present bits for fetch-on-fault, write-protection for dirty
+tracking, and PTE churn plus TLB shootdowns for eviction.  Kona instead
+maps all remote data as *always present* in VFMem, so its page table is
+set up once and never touched on the data path (paper section 4.4).
+
+The model stores one :class:`PageTableEntry` per mapped virtual page
+and counts every operation so cost models can charge for PTE updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Flag, auto
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..common import units
+from ..common.errors import ProtectionError, TranslationError
+from ..common.stats import Counter
+
+
+class Protection(Flag):
+    """Page protection bits."""
+
+    NONE = 0
+    READ = auto()
+    WRITE = auto()
+    READ_WRITE = READ | WRITE
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual-to-physical page mapping."""
+
+    vpn: int                    # virtual page number
+    pfn: int                    # physical frame number
+    present: bool = True
+    protection: Protection = Protection.READ_WRITE
+    dirty: bool = False
+    accessed: bool = False
+
+    def allows(self, is_write: bool) -> bool:
+        """Whether an access of the given kind is permitted."""
+        needed = Protection.WRITE if is_write else Protection.READ
+        return bool(self.protection & needed)
+
+
+@dataclass(frozen=True)
+class FaultInfo:
+    """Describes why a virtual access faulted."""
+
+    vpn: int
+    is_write: bool
+    missing: bool        # page not present (major-fault class)
+    protection: bool     # present but protection violated (minor fault)
+
+
+class PageTable:
+    """A flat page table for one process address space.
+
+    ``page_size`` is configurable so the huge-page experiments (Table 2's
+    2 MB column) can reuse the same machinery.
+    """
+
+    def __init__(self, page_size: int = units.PAGE_4K) -> None:
+        if page_size % units.PAGE_4K:
+            raise TranslationError(f"page size {page_size} not 4 KiB aligned")
+        self.page_size = page_size
+        self._entries: Dict[int, PageTableEntry] = {}
+        self.counters = Counter()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    def vpn_of(self, vaddr: int) -> int:
+        """Virtual page number containing ``vaddr``."""
+        return vaddr // self.page_size
+
+    def map(self, vpn: int, pfn: int, *, present: bool = True,
+            protection: Protection = Protection.READ_WRITE) -> PageTableEntry:
+        """Install a mapping, replacing any previous entry for ``vpn``."""
+        entry = PageTableEntry(vpn=vpn, pfn=pfn, present=present,
+                               protection=protection)
+        self._entries[vpn] = entry
+        self.counters.add("pte_installs")
+        return entry
+
+    def unmap(self, vpn: int) -> PageTableEntry:
+        """Remove a mapping (eviction path in page-based systems)."""
+        try:
+            entry = self._entries.pop(vpn)
+        except KeyError:
+            raise TranslationError(f"unmap of unmapped vpn {vpn}") from None
+        self.counters.add("pte_removals")
+        return entry
+
+    def entry(self, vpn: int) -> Optional[PageTableEntry]:
+        """The entry for ``vpn``, or None if unmapped."""
+        return self._entries.get(vpn)
+
+    def protect(self, vpn: int, protection: Protection) -> None:
+        """Change protection bits (write-protect round of dirty tracking)."""
+        entry = self._require(vpn)
+        entry.protection = protection
+        self.counters.add("pte_protect_changes")
+
+    def mark_not_present(self, vpn: int) -> None:
+        """Clear the present bit (page-based eviction)."""
+        entry = self._require(vpn)
+        entry.present = False
+        self.counters.add("pte_present_clears")
+
+    def mark_present(self, vpn: int, pfn: int) -> None:
+        """Set the present bit after a fetch completes."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.map(vpn, pfn)
+        else:
+            entry.present = True
+            entry.pfn = pfn
+        self.counters.add("pte_present_sets")
+
+    def translate(self, vaddr: int, is_write: bool) -> Tuple[int, Optional[FaultInfo]]:
+        """Translate an access; return (paddr, fault) where fault is None on success.
+
+        On success the accessed/dirty bits are updated the way hardware
+        page-table walkers do.
+        """
+        vpn = self.vpn_of(vaddr)
+        entry = self._entries.get(vpn)
+        if entry is None or not entry.present:
+            self.counters.add("faults_missing")
+            return 0, FaultInfo(vpn=vpn, is_write=is_write,
+                                missing=True, protection=False)
+        if not entry.allows(is_write):
+            self.counters.add("faults_protection")
+            return 0, FaultInfo(vpn=vpn, is_write=is_write,
+                                missing=False, protection=True)
+        entry.accessed = True
+        if is_write:
+            entry.dirty = True
+        paddr = entry.pfn * self.page_size + vaddr % self.page_size
+        self.counters.add("translations")
+        return paddr, None
+
+    def dirty_vpns(self) -> Iterator[int]:
+        """Virtual pages with the hardware dirty bit set."""
+        return (e.vpn for e in self._entries.values() if e.dirty)
+
+    def clear_dirty(self, vpn: int) -> None:
+        """Clear the dirty bit (after writeback)."""
+        self._require(vpn).dirty = False
+        self.counters.add("pte_dirty_clears")
+
+    def _require(self, vpn: int) -> PageTableEntry:
+        entry = self._entries.get(vpn)
+        if entry is None:
+            raise TranslationError(f"vpn {vpn} is not mapped")
+        return entry
+
+
+def raise_for_fault(fault: FaultInfo) -> None:
+    """Turn a :class:`FaultInfo` into the corresponding exception."""
+    if fault.missing:
+        raise TranslationError(
+            f"page {fault.vpn} not present ({'write' if fault.is_write else 'read'})")
+    raise ProtectionError(
+        f"page {fault.vpn} write-protected" if fault.is_write
+        else f"page {fault.vpn} not readable")

@@ -1,0 +1,152 @@
+"""Physical memory regions: CMem, FMem, and the fake VFMem.
+
+The reference architecture (paper section 4.3) distinguishes three
+physical address spaces on the compute node:
+
+* **CMem** — CPU-attached DRAM, holds everything Kona does not manage
+  (stacks, code, kernel) plus the baselines' local page cache;
+* **FMem** — FPGA-attached DRAM, used by Kona as a page-granularity
+  cache for remote data (never exposed to the OS);
+* **VFMem** — a *fake* physical address space exported by the FPGA,
+  larger than FMem and backed by remote memory.  Applications' remote
+  data is mapped here, so every CPU access to it passes through the
+  FPGA's coherence directory.
+
+:class:`PhysicalRegion` also supports carrying actual byte content
+(a numpy array) so tools like KTracker can diff real data.  Content is
+allocated lazily — most simulations only need the address math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..common import units
+from ..common.errors import AddressError, ConfigError
+from .address import AddressRange
+
+
+class MemoryKind(Enum):
+    """Which of the architecture's physical memories a region models."""
+
+    CMEM = "cmem"
+    FMEM = "fmem"
+    VFMEM = "vfmem"
+    REMOTE = "remote"
+
+
+@dataclass
+class PhysicalRegion:
+    """A contiguous physical memory region, optionally with backing bytes."""
+
+    kind: MemoryKind
+    range: AddressRange
+    backed: bool = False
+    _data: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @staticmethod
+    def create(kind: MemoryKind, start: int, size: int,
+               backed: bool = False) -> "PhysicalRegion":
+        """Build a region of ``size`` bytes at physical address ``start``."""
+        if size <= 0:
+            raise ConfigError(f"region size must be positive, got {size}")
+        if start % units.PAGE_4K != 0:
+            raise ConfigError(f"region start {start:#x} not page aligned")
+        return PhysicalRegion(kind=kind, range=AddressRange(start, size),
+                              backed=backed)
+
+    @property
+    def size(self) -> int:
+        """Capacity in bytes."""
+        return self.range.size
+
+    @property
+    def num_pages(self) -> int:
+        """Number of 4 KB pages the region holds."""
+        return self.size // units.PAGE_4K
+
+    def _ensure_data(self) -> np.ndarray:
+        if not self.backed:
+            raise AddressError(
+                f"{self.kind.value} region is not content-backed")
+        if self._data is None:
+            self._data = np.zeros(self.size, dtype=np.uint8)
+        return self._data
+
+    def read(self, addr: int, size: int) -> np.ndarray:
+        """Read ``size`` bytes of backing content starting at ``addr``."""
+        offset = self.range.offset_of(addr)
+        if offset + size > self.size:
+            raise AddressError(f"read of {size} bytes at {addr:#x} overruns region")
+        return self._ensure_data()[offset:offset + size]
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        """Write bytes into the backing content starting at ``addr``."""
+        offset = self.range.offset_of(addr)
+        data = np.asarray(data, dtype=np.uint8)
+        if offset + data.size > self.size:
+            raise AddressError(
+                f"write of {data.size} bytes at {addr:#x} overruns region")
+        self._ensure_data()[offset:offset + data.size] = data
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the whole backing content (KTracker-style snapshot)."""
+        return self._ensure_data().copy()
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the backing content."""
+        return self._ensure_data()
+
+
+class AddressSpaceLayout:
+    """The compute node's physical layout: CMem low, VFMem high.
+
+    VFMem is placed above CMem, mirroring how a ccFPGA would claim a
+    window of the physical address map.  FMem has its own private space
+    (the CPU never addresses it directly, paper section 4.3).
+    """
+
+    def __init__(self, cmem_size: int, fmem_size: int, vfmem_size: int,
+                 backed: bool = False) -> None:
+        for name, value in (("cmem", cmem_size), ("fmem", fmem_size),
+                            ("vfmem", vfmem_size)):
+            if value <= 0 or value % units.PAGE_4K:
+                raise ConfigError(f"{name}_size must be a positive multiple "
+                                  f"of 4 KiB, got {value}")
+        if vfmem_size < fmem_size:
+            raise ConfigError("VFMem must be at least as large as FMem "
+                              "(it is the space FMem caches)")
+        self.cmem = PhysicalRegion.create(MemoryKind.CMEM, 0, cmem_size,
+                                          backed=backed)
+        vf_start = AddressSpaceLayout._next_aligned(cmem_size)
+        self.vfmem = PhysicalRegion.create(MemoryKind.VFMEM, vf_start,
+                                           vfmem_size, backed=backed)
+        # FMem lives behind the FPGA; give it a disjoint private space.
+        f_start = AddressSpaceLayout._next_aligned(vf_start + vfmem_size)
+        self.fmem = PhysicalRegion.create(MemoryKind.FMEM, f_start, fmem_size,
+                                          backed=backed)
+
+    @staticmethod
+    def _next_aligned(addr: int) -> int:
+        gb = units.GB
+        return -(-addr // gb) * gb
+
+    def region_of(self, addr: int) -> PhysicalRegion:
+        """Find which region a physical address belongs to."""
+        for region in (self.cmem, self.vfmem, self.fmem):
+            if addr in region.range:
+                return region
+        raise AddressError(f"physical address {addr:#x} unmapped")
+
+    def is_tracked(self, addr: int) -> bool:
+        """True if the FPGA directory observes accesses to ``addr``.
+
+        Only VFMem is coherence-tracked; the FPGA cannot see CMem
+        traffic (paper section 4.3 calls this out as the approach's
+        limitation).
+        """
+        return addr in self.vfmem.range

@@ -1,0 +1,163 @@
+"""Virtual memory areas: the kernel-side region bookkeeping.
+
+The paper's latency analysis repeatedly blames "finding and allocating
+virtual memory areas (VMAs)" as one of the small operations that add up
+on the page-fault path (sections 2.1, 6.1).  This module models that
+bookkeeping: a sorted map of VMAs with find/insert/split/merge, plus an
+rbtree-like lookup cost model so the fault path can charge for the
+walk.
+
+Kona touches the VMA layer only at allocation time (mmap of VFMem
+windows); page-based systems walk it on *every* fault.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common import units
+from ..common.errors import AddressError, ConfigError
+from ..common.stats import Counter
+from .address import AddressRange
+from .pagetable import Protection
+
+
+@dataclass(frozen=True)
+class VMA:
+    """One virtual memory area (a contiguous mapping with one policy)."""
+
+    range: AddressRange
+    protection: Protection = Protection.READ_WRITE
+    name: str = "anon"
+    #: Whether this VMA is backed by Kona's remote memory (VFMem) or
+    #: ordinary local memory.
+    remote: bool = False
+
+
+class VMAMap:
+    """Sorted, non-overlapping set of VMAs with kernel-like operations."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._vmas: List[VMA] = []
+        self.counters = Counter()
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def find(self, addr: int) -> Optional[VMA]:
+        """The VMA containing ``addr``, or None (a fault-path walk)."""
+        self.counters.add("lookups")
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        vma = self._vmas[idx]
+        return vma if addr in vma.range else None
+
+    def find_cost_ns(self) -> float:
+        """Cost of one rbtree-ish walk: O(log n) pointer chases."""
+        n = max(len(self._vmas), 1)
+        depth = max(n.bit_length(), 1)
+        return 18.0 * depth    # ~cache-miss-ish per level
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, vma: VMA) -> None:
+        """Insert a VMA; rejects overlap with any existing area."""
+        for existing in self._vmas:
+            if existing.range.overlaps(vma.range):
+                raise AddressError(
+                    f"VMA {vma.range} overlaps existing {existing.range}")
+        idx = bisect.bisect_left(self._starts, vma.range.start)
+        self._starts.insert(idx, vma.range.start)
+        self._vmas.insert(idx, vma)
+        self.counters.add("inserts")
+
+    def remove(self, addr: int) -> VMA:
+        """Remove the VMA containing ``addr``."""
+        vma = self.find(addr)
+        if vma is None:
+            raise AddressError(f"no VMA contains {addr:#x}")
+        idx = self._vmas.index(vma)
+        del self._vmas[idx]
+        del self._starts[idx]
+        self.counters.add("removals")
+        return vma
+
+    def split(self, addr: int) -> tuple:
+        """Split the containing VMA at a page boundary ``addr``.
+
+        Splitting happens when protection changes apply to part of a
+        mapping — e.g. write-protecting a subrange for dirty tracking.
+        """
+        if addr % units.PAGE_4K:
+            raise ConfigError(f"split point {addr:#x} not page aligned")
+        vma = self.find(addr)
+        if vma is None:
+            raise AddressError(f"no VMA contains {addr:#x}")
+        if addr == vma.range.start:
+            return (vma,)    # nothing to split
+        left = VMA(AddressRange(vma.range.start, addr - vma.range.start),
+                   vma.protection, vma.name, vma.remote)
+        right = VMA(AddressRange(addr, vma.range.end - addr),
+                    vma.protection, vma.name, vma.remote)
+        self.remove(addr)
+        self.insert(left)
+        self.insert(right)
+        self.counters.add("splits")
+        return left, right
+
+    def merge_adjacent(self) -> int:
+        """Coalesce adjacent VMAs with identical attributes.
+
+        Returns the number of merges performed.  The kernel does this
+        opportunistically; fragmentation from protection games is yet
+        another hidden cost of write-protection tracking.
+        """
+        merged = 0
+        i = 0
+        while i + 1 < len(self._vmas):
+            a, b = self._vmas[i], self._vmas[i + 1]
+            compatible = (a.range.end == b.range.start
+                          and a.protection == b.protection
+                          and a.name == b.name and a.remote == b.remote)
+            if compatible:
+                joined = VMA(AddressRange(a.range.start,
+                                          a.range.size + b.range.size),
+                             a.protection, a.name, a.remote)
+                del self._vmas[i:i + 2]
+                del self._starts[i:i + 2]
+                self._starts.insert(i, joined.range.start)
+                self._vmas.insert(i, joined)
+                merged += 1
+            else:
+                i += 1
+        if merged:
+            self.counters.add("merges", merged)
+        return merged
+
+    # -- gap search (mmap placement) -----------------------------------------------
+
+    def find_gap(self, size: int, floor: int = 0) -> int:
+        """Lowest page-aligned start >= floor with ``size`` free bytes."""
+        if size <= 0:
+            raise ConfigError(f"gap size must be positive, got {size}")
+        candidate = -(-floor // units.PAGE_4K) * units.PAGE_4K
+        for vma in self._vmas:
+            if vma.range.end <= candidate:
+                continue
+            if vma.range.start >= candidate + size:
+                break
+            candidate = -(-vma.range.end // units.PAGE_4K) * units.PAGE_4K
+        return candidate
+
+    def remote_bytes(self) -> int:
+        """Total bytes mapped to remote (VFMem-backed) areas."""
+        return sum(v.range.size for v in self._vmas if v.remote)

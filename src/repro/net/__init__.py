@@ -1,0 +1,29 @@
+"""RDMA fabric, verbs, and the cache-line eviction log."""
+
+from .fabric import Fabric, TransferReceipt
+from .rdma import (
+    MAX_INLINE,
+    Completion,
+    CompletionQueue,
+    MemoryRegion,
+    OpCode,
+    QueuePair,
+    WorkRequest,
+)
+from .ring import RECORD_BYTES, LogRecord, RingBufferLog, pack_dirty_lines
+
+__all__ = [
+    "Completion",
+    "CompletionQueue",
+    "Fabric",
+    "LogRecord",
+    "MAX_INLINE",
+    "MemoryRegion",
+    "OpCode",
+    "QueuePair",
+    "RECORD_BYTES",
+    "RingBufferLog",
+    "TransferReceipt",
+    "WorkRequest",
+    "pack_dirty_lines",
+]

@@ -1,0 +1,196 @@
+"""RDMA verbs: memory regions, queue pairs, batching and completions.
+
+Models the subset of the verbs API the paper's eviction study exercises
+(section 5.1 "RDMA eviction"):
+
+* one-sided READ / WRITE work requests;
+* **memory registration** — only registered buffers can be sources or
+  targets, which is why real eviction must first *copy* dirty data into
+  an RDMA buffer (the "Copy" slice of Figure 11c);
+* **linking/batching** — a chain of WRs posted with one doorbell;
+* **unsignaled completions** — only the last WR of a batch generates a
+  CQE, so completion-polling cost is paid once per batch;
+* **inline data** — small payloads ride in the WQE itself, skipping the
+  DMA read of the source buffer (the paper found it unhelpful at 64 B
+  to 4 KB sizes; we model it so the ablation can show the same).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence
+
+from ..common.errors import ConfigError, NetworkError
+from ..common.stats import Counter
+from ..mem.address import AddressRange
+from .fabric import Fabric
+
+
+class OpCode(Enum):
+    """Work-request opcodes."""
+
+    RDMA_READ = auto()
+    RDMA_WRITE = auto()
+    SEND = auto()
+
+
+#: Largest payload a WQE can carry inline (ConnectX-class NICs: ~220 B).
+MAX_INLINE = 220
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A buffer registered with the NIC (lkey/rkey holder)."""
+
+    key: int
+    range: AddressRange
+    node: str
+
+    def covers(self, addr: int, nbytes: int) -> bool:
+        """Whether [addr, addr+nbytes) lies inside the region."""
+        return (addr in self.range) and (addr + nbytes <= self.range.end)
+
+
+@dataclass
+class WorkRequest:
+    """One work request, possibly part of a linked chain."""
+
+    opcode: OpCode
+    local_addr: int
+    remote_addr: int
+    nbytes: int
+    signaled: bool = True
+    inline: bool = False
+    wr_id: int = 0
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A completion-queue entry."""
+
+    wr_id: int
+    opcode: OpCode
+    nbytes: int
+    success: bool = True
+
+
+class CompletionQueue:
+    """FIFO of completions with polling cost accounting."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self._fabric = fabric
+        self._entries: List[Completion] = []
+        self.counters = Counter()
+
+    def push(self, completion: Completion) -> None:
+        """NIC-side: deposit a CQE."""
+        self._entries.append(completion)
+
+    def poll(self, max_entries: int = 16) -> List[Completion]:
+        """Drain up to ``max_entries`` completions, paying the poll cost."""
+        self._fabric.clock.advance(self._fabric.latency.rdma_completion_ns)
+        self.counters.add("polls")
+        drained = self._entries[:max_entries]
+        del self._entries[:max_entries]
+        self.counters.add("completions", len(drained))
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class QueuePair:
+    """A reliable-connected QP between two nodes on the fabric."""
+
+    _keys = itertools.count(1)
+
+    def __init__(self, fabric: Fabric, local_node: str, remote_node: str,
+                 cq: Optional[CompletionQueue] = None) -> None:
+        for node in (local_node, remote_node):
+            if not fabric.has_node(node):
+                raise ConfigError(f"node {node!r} not on fabric")
+        self.fabric = fabric
+        self.local_node = local_node
+        self.remote_node = remote_node
+        self.cq = cq if cq is not None else CompletionQueue(fabric)
+        self._regions: Dict[int, MemoryRegion] = {}
+        self.counters = Counter()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, node: str, start: int, nbytes: int) -> MemoryRegion:
+        """Register a buffer for RDMA on ``node``; returns its region."""
+        if nbytes <= 0:
+            raise ConfigError(f"region size must be positive, got {nbytes}")
+        region = MemoryRegion(key=next(self._keys),
+                              range=AddressRange(start, nbytes), node=node)
+        self._regions[region.key] = region
+        self.counters.add("registrations")
+        return region
+
+    def _check_registered(self, node: str, addr: int, nbytes: int) -> None:
+        for region in self._regions.values():
+            if region.node == node and region.covers(addr, nbytes):
+                return
+        raise NetworkError(
+            f"buffer [{addr:#x}, +{nbytes}) on {node!r} is not registered")
+
+    # -- posting -----------------------------------------------------------------
+
+    def post(self, wrs: Sequence[WorkRequest]) -> float:
+        """Post a chain of work requests with a single doorbell.
+
+        Returns the total simulated time consumed.  The first WR pays
+        the doorbell; the rest are linked.  Only signaled WRs produce
+        CQEs, and polling is left to the caller (so callers can overlap
+        it, as Kona's Poller does).
+        """
+        if not wrs:
+            raise ConfigError("empty work-request chain")
+        start = self.fabric.clock.now
+        for i, wr in enumerate(wrs):
+            self._validate(wr)
+            linked = i > 0
+            # Inline WQEs skip the local DMA read but are capped in size.
+            self.fabric.transfer(
+                self.local_node, self.remote_node, wr.nbytes,
+                linked=linked, signaled=False)
+            if wr.inline:
+                # Inline copy happens on the CPU while building the WQE.
+                self.fabric.clock.advance(
+                    self.fabric.latency.memcpy_per_byte_ns * wr.nbytes)
+            if wr.signaled:
+                self.cq.push(Completion(wr_id=wr.wr_id, opcode=wr.opcode,
+                                        nbytes=wr.nbytes))
+            self.counters.add("work_requests")
+        self.counters.add("doorbells")
+        return self.fabric.clock.now - start
+
+    def _validate(self, wr: WorkRequest) -> None:
+        if wr.nbytes <= 0:
+            raise ConfigError(f"WR of {wr.nbytes} bytes")
+        if wr.inline:
+            if wr.nbytes > MAX_INLINE:
+                raise NetworkError(
+                    f"inline WR of {wr.nbytes} bytes exceeds {MAX_INLINE}")
+            if wr.opcode is OpCode.RDMA_READ:
+                raise NetworkError("RDMA READ cannot be inline")
+        else:
+            self._check_registered(self.local_node, wr.local_addr, wr.nbytes)
+        self._check_registered(self.remote_node, wr.remote_addr, wr.nbytes)
+
+    # -- convenience one-shot verbs -------------------------------------------------
+
+    def read(self, local_addr: int, remote_addr: int, nbytes: int) -> float:
+        """One signaled RDMA READ; returns elapsed simulated ns."""
+        return self.post([WorkRequest(OpCode.RDMA_READ, local_addr,
+                                      remote_addr, nbytes)])
+
+    def write(self, local_addr: int, remote_addr: int, nbytes: int,
+              signaled: bool = True) -> float:
+        """One RDMA WRITE; returns elapsed simulated ns."""
+        return self.post([WorkRequest(OpCode.RDMA_WRITE, local_addr,
+                                      remote_addr, nbytes,
+                                      signaled=signaled)])

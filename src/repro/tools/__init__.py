@@ -1,0 +1,37 @@
+"""Simulation/emulation tools (paper section 5): pintool, KCacheSim, KTracker."""
+
+from .kcachesim import KCacheSim, KCacheSimResult, simulation_overhead
+from .ktracker import (
+    NATIVE_DIRTY_PAGE_RATE,
+    KTracker,
+    KTrackerReport,
+    WindowResult,
+    redis_rand_ktracker,
+    redis_seq_ktracker,
+)
+from .pintool import (
+    AmplificationReport,
+    WindowAmplification,
+    analyze,
+    analyze_window,
+    lines_per_page_cdf,
+    segment_length_cdf,
+)
+
+__all__ = [
+    "AmplificationReport",
+    "KCacheSim",
+    "KCacheSimResult",
+    "KTracker",
+    "KTrackerReport",
+    "NATIVE_DIRTY_PAGE_RATE",
+    "WindowAmplification",
+    "WindowResult",
+    "analyze",
+    "analyze_window",
+    "lines_per_page_cdf",
+    "redis_rand_ktracker",
+    "redis_seq_ktracker",
+    "segment_length_cdf",
+    "simulation_overhead",
+]

@@ -1,0 +1,18 @@
+"""Virtual-memory remote-memory machinery (the baselines' substrate)."""
+
+from .faults import FaultCosts, FaultPath, PageFaultModel
+from .pml import PML_BUFFER_ENTRIES, PMLTracker
+from .swap import ExecutionReport, PagedConfig, PagedRemoteMemory
+from .writeprotect import WriteProtectTracker
+
+__all__ = [
+    "ExecutionReport",
+    "FaultCosts",
+    "FaultPath",
+    "PML_BUFFER_ENTRIES",
+    "PMLTracker",
+    "PagedConfig",
+    "PagedRemoteMemory",
+    "PageFaultModel",
+    "WriteProtectTracker",
+]

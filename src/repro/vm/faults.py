@@ -1,0 +1,116 @@
+"""Page-fault cost accounting for page-based remote-memory systems.
+
+The paper's central complaint: every remote-memory function in current
+systems rides on page faults, and the fault cost — trap, VMA lookup,
+page-cache management, PTE/TLB updates, pipeline flush — dwarfs the
+network transfer it wraps.  This module prices those paths.
+
+Two fault-handling flavors are modeled:
+
+* ``KERNEL_SWAP`` — the Infiniswap path: a fault enters the kernel swap
+  code and the bio/block layer (most of the measured 40 us);
+* ``USERFAULTFD`` — the Kona-VM path: faults delivered to a cooperative
+  user thread (paper section 5.1), cheaper but still serializing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..common.errors import ConfigError
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.stats import Counter
+
+
+class FaultPath(Enum):
+    """Which fault-delivery mechanism a system uses."""
+
+    KERNEL_SWAP = auto()
+    USERFAULTFD = auto()
+
+
+@dataclass(frozen=True)
+class FaultCosts:
+    """Derived costs (ns) of the fault-driven remote-memory operations."""
+
+    major_fault_ns: float       # fetch fault, excluding the network transfer
+    minor_fault_ns: float       # write-protect fault (dirty tracking)
+    evict_pte_ns: float         # per-page PTE churn on eviction
+    shootdown_ns: float         # TLB shootdown per eviction batch
+
+
+class PageFaultModel:
+    """Prices fault-driven operations for one system configuration."""
+
+    def __init__(self, path: FaultPath,
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 num_cores: int = 8) -> None:
+        if num_cores <= 0:
+            raise ConfigError(f"num_cores must be positive, got {num_cores}")
+        self.path = path
+        self.latency = latency
+        self.num_cores = num_cores
+        self.counters = Counter()
+        self._costs = self._derive()
+
+    def _derive(self) -> FaultCosts:
+        lat = self.latency
+        if self.path is FaultPath.KERNEL_SWAP:
+            # Fault entry + swap-entry lookup + bio submission + page-cache
+            # and LRU management.  The paper: "the sum of small operations".
+            major = (lat.minor_fault_ns          # trap + VMA walk
+                     + 6_500.0                   # swap cache + bio + block layer
+                     + lat.pte_update_ns
+                     + lat.context_switch_ns)
+        else:
+            # userfaultfd: trap, wake the handler thread, UFFDIO_COPY back.
+            major = lat.userfault_ns + lat.pte_update_ns
+        minor = lat.minor_fault_ns + lat.pte_update_ns
+        shootdown = lat.tlb_shootdown_ns + 350.0 * (self.num_cores - 1)
+        evict_pte = 3 * lat.pte_update_ns   # lock check, rmap walk, unmap
+        return FaultCosts(major_fault_ns=major, minor_fault_ns=minor,
+                          evict_pte_ns=evict_pte, shootdown_ns=shootdown)
+
+    @property
+    def costs(self) -> FaultCosts:
+        """The derived cost table."""
+        return self._costs
+
+    # -- operations --------------------------------------------------------------
+
+    def fetch_fault_ns(self) -> float:
+        """Software cost of one fetch page fault (network priced separately)."""
+        self.counters.add("major_faults")
+        return self._costs.major_fault_ns
+
+    def write_protect_fault_ns(self) -> float:
+        """Cost of one write-protection (dirty-tracking) fault."""
+        self.counters.add("wp_faults")
+        return self._costs.minor_fault_ns
+
+    def protect_pages_ns(self, num_pages: int) -> float:
+        """Cost of write-protecting ``num_pages`` (one tracking round).
+
+        Requires touching each PTE and one batched shootdown; the
+        application is stopped for this long (paper section 2.1).
+        """
+        if num_pages < 0:
+            raise ConfigError("num_pages must be non-negative")
+        if num_pages == 0:
+            return 0.0
+        self.counters.add("protect_rounds")
+        self.counters.add("pages_protected", num_pages)
+        return (num_pages * self.latency.pte_update_ns
+                + self._costs.shootdown_ns)
+
+    def evict_pages_ns(self, num_pages: int) -> float:
+        """Software cost of unmapping ``num_pages`` for eviction."""
+        if num_pages < 0:
+            raise ConfigError("num_pages must be non-negative")
+        if num_pages == 0:
+            return 0.0
+        self.counters.add("evictions")
+        self.counters.add("pages_evicted", num_pages)
+        return (num_pages * self._costs.evict_pte_ns
+                + self._costs.shootdown_ns)

@@ -1,0 +1,250 @@
+"""Execution engine for page-based (virtual-memory) remote memory.
+
+:class:`PagedRemoteMemory` executes a memory-access stream the way
+Infiniswap / LegoOS / Kona-VM would: a fixed-capacity local page cache,
+a page fault plus a network page transfer on every miss, write-protect
+faults for dirty tracking, and page-granularity eviction with PTE churn
+and TLB shootdowns.  Time is split into an :class:`~repro.common.clock.
+Account` so the harness can separate application progress from the
+"sum of small operations" overhead the paper measures.
+
+Eviction data transfer can run asynchronously (Kona-VM overlaps it with
+execution, section 6.1) but the *software* side of eviction — PTE
+updates and shootdowns — always steals application time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+import numpy as np
+
+from ..common import units
+from ..common.clock import Account
+from ..common.errors import ConfigError
+from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.stats import Counter
+from .faults import FaultPath, PageFaultModel
+
+
+@dataclass
+class PagedConfig:
+    """Configuration of a page-based remote-memory system."""
+
+    name: str
+    fault_path: FaultPath
+    local_capacity: int                  # bytes of local DRAM cache
+    page_size: int = units.PAGE_4K
+    track_dirty: bool = True             # write-protection dirty tracking
+    async_evict_transfer: bool = True    # overlap eviction RDMA with app
+    num_cores: int = 8
+    #: System-specific fetch-path adjustment relative to the generic
+    #: fault cost: positive for extra layers (Infiniswap's bio/block
+    #: path), negative for leaner-than-Linux designs (LegoOS's
+    #: splitkernel ExCache path).  The total fault cost is floored at a
+    #: bare trap cost.
+    extra_fetch_ns: float = 0.0
+    #: Extra software cost per eviction (e.g. Infiniswap's block layer
+    #: on the writeback path, measured at >32 us total in the paper).
+    extra_evict_ns: float = 0.0
+    #: Pages reclaimed per eviction round (kswapd-style batching); the
+    #: TLB shootdown is paid once per round, amortized over the batch.
+    evict_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.local_capacity < self.page_size:
+            raise ConfigError("local cache smaller than one page")
+        if self.page_size % units.PAGE_4K:
+            raise ConfigError(f"page_size {self.page_size} not 4 KiB aligned")
+
+
+@dataclass
+class ExecutionReport:
+    """Result of running an access stream through an engine."""
+
+    name: str
+    accesses: int
+    elapsed_ns: float                 # application critical-path time
+    background_ns: float              # overlapped work (async eviction)
+    account: Account
+    counters: Counter
+    bytes_fetched: int
+    bytes_written_back: int
+
+    @property
+    def dirty_amplification(self) -> float:
+        """Written-back bytes over the bytes the app actually dirtied,
+        for the pages that were written back.
+
+        Callers that know the true dirtied byte count should compute it
+        themselves; this property assumes one 64 B line per page write,
+        which holds for the Figure 7 microbenchmark.
+        """
+        if self.counters["dirty_evictions"] == 0:
+            return float("nan")
+        actual = self.counters["dirty_evictions"] * units.CACHE_LINE
+        return self.bytes_written_back / actual
+
+
+class PagedRemoteMemory:
+    """A page-based remote-memory runtime executing access streams."""
+
+    def __init__(self, config: PagedConfig,
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 app_ns_per_access: float = 70.0) -> None:
+        self.config = config
+        self.latency = latency
+        self.app_ns_per_access = app_ns_per_access
+        self.fault_model = PageFaultModel(config.fault_path, latency,
+                                          config.num_cores)
+        self.capacity_pages = config.local_capacity // config.page_size
+        # Residency: insertion-ordered dict as an LRU (oldest first).
+        self._resident: Dict[int, bool] = {}     # vpn -> dirty
+        self._write_protected: Set[int] = set()
+        self.account = Account()
+        self.counters = Counter()
+        self.bytes_fetched = 0
+        self.bytes_written_back = 0
+
+    # -- single access --------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> float:
+        """Execute one access; returns critical-path ns consumed."""
+        vpn = addr // self.config.page_size
+        elapsed = 0.0
+        resident = self._resident
+        if vpn in resident:
+            # LRU promote.
+            dirty = resident.pop(vpn)
+            resident[vpn] = dirty
+            if is_write:
+                elapsed += self._on_write(vpn)
+        else:
+            elapsed += self._fetch(vpn)
+            if is_write:
+                elapsed += self._on_write(vpn)
+        return elapsed
+
+    def _on_write(self, vpn: int) -> float:
+        if not self.config.track_dirty:
+            self._resident[vpn] = True
+            return 0.0
+        cost = 0.0
+        if vpn in self._write_protected:
+            self._write_protected.discard(vpn)
+            cost = self.fault_model.write_protect_fault_ns()
+            self.account.charge("wp_fault", cost)
+        if not self._resident[vpn]:
+            self.counters.add("pages_dirtied")
+        self._resident[vpn] = True
+        return cost
+
+    def _fetch(self, vpn: int) -> float:
+        elapsed = 0.0
+        if len(self._resident) >= self.capacity_pages:
+            elapsed += self._evict_round()
+        fault = max(self.fault_model.fetch_fault_ns()
+                    + self.config.extra_fetch_ns, 500.0)
+        page = self.config.page_size
+        network = self.latency.rdma_transfer_ns(page, linked=True,
+                                                signaled=True)
+        self.account.charge("fetch_fault", fault)
+        self.account.charge("fetch_network", network)
+        self.bytes_fetched += page
+        self.counters.add("pages_fetched")
+        # A freshly fetched page starts clean and write-protected.
+        self._resident[vpn] = False
+        if self.config.track_dirty:
+            self._write_protected.add(vpn)
+        return elapsed + fault + network
+
+    def _evict_round(self) -> float:
+        """Reclaim a batch of LRU victims; one shootdown per round."""
+        batch = min(max(self.config.evict_batch, 1), len(self._resident))
+        software = (self.fault_model.evict_pages_ns(batch)
+                    + batch * self.config.extra_evict_ns)
+        self.account.charge("evict_software", software)
+        elapsed = software
+        for _ in range(batch):
+            victim = next(iter(self._resident))
+            dirty = self._resident.pop(victim)
+            self._write_protected.discard(victim)
+            if dirty:
+                page = self.config.page_size
+                copy = self.latency.memcpy_ns(page)   # stage into RDMA buffer
+                wire = self.latency.rdma_transfer_ns(page, linked=True,
+                                                     signaled=False)
+                self.bytes_written_back += page
+                self.counters.add("dirty_evictions")
+                if self.config.async_evict_transfer:
+                    self.account.charge("evict_background", copy + wire)
+                else:
+                    self.account.charge("evict_transfer", copy + wire)
+                    elapsed += copy + wire
+            self.counters.add("evictions")
+        return elapsed
+
+    # -- stream execution ---------------------------------------------------------------
+
+    def run(self, addrs: np.ndarray, writes: np.ndarray) -> ExecutionReport:
+        """Execute a whole access stream and report the time breakdown."""
+        if addrs.shape != writes.shape:
+            raise ConfigError("addrs and writes must have identical shape")
+        elapsed = 0.0
+        access = self.access
+        for addr, is_write in zip(addrs.tolist(), writes.tolist()):
+            elapsed += access(addr, is_write)
+        app = self.app_ns_per_access * addrs.size
+        self.account.charge("app_compute", app)
+        elapsed += app
+        background = self.account["evict_background"]
+        return ExecutionReport(
+            name=self.config.name,
+            accesses=int(addrs.size),
+            elapsed_ns=elapsed,
+            background_ns=background,
+            account=self.account,
+            counters=self.counters,
+            bytes_fetched=self.bytes_fetched,
+            bytes_written_back=self.bytes_written_back,
+        )
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def flush_dirty(self) -> int:
+        """Write every dirty resident page back; returns bytes shipped.
+
+        Page-based systems must ship whole pages here — the
+        amplification Kona's line tracking avoids.
+        """
+        page = self.config.page_size
+        shipped = 0
+        for vpn, dirty in self._resident.items():
+            if not dirty:
+                continue
+            copy = self.latency.memcpy_ns(page)
+            wire = self.latency.rdma_transfer_ns(page, linked=True,
+                                                 signaled=False)
+            self.account.charge("evict_background", copy + wire)
+            self._resident[vpn] = False
+            self.bytes_written_back += page
+            shipped += page
+            self.counters.add("dirty_flushes")
+        return shipped
+
+    def reprotect_all(self) -> float:
+        """Start a new dirty-tracking window (stop-the-world protect round)."""
+        if not self.config.track_dirty:
+            return 0.0
+        self._write_protected = set(self._resident)
+        for vpn in self._resident:
+            self._resident[vpn] = False
+        cost = self.fault_model.protect_pages_ns(len(self._write_protected))
+        self.account.charge("protect_round", cost)
+        return cost
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently held in the local DRAM cache."""
+        return len(self._resident)

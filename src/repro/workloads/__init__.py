@@ -1,0 +1,85 @@
+"""Workload models: synthetic stand-ins for the paper's applications."""
+
+from typing import Callable, Dict
+
+from .amat import (
+    AMAT_SPECS,
+    AmatSpec,
+    DATA_BASE,
+    HotProfile,
+    generate_data_accesses,
+    graph_coloring_spec,
+    linear_regression_spec,
+    redis_rand_spec,
+)
+from .base import ReadProfile, WorkloadModel, WriteProfile
+from .graphlab import (
+    build_vertex_layout,
+    connected_components,
+    graph_coloring,
+    label_propagation,
+    page_rank,
+)
+from .metis import histogram, linear_regression
+from .mixer import TenantPlacement, footprint_summary, interleave, per_tenant_slice
+from .redis import redis_rand, redis_seq
+from .synthetic import dirty_lines_pattern, one_line_per_page
+from .trace import (
+    TRACE_DTYPE,
+    Trace,
+    concatenate,
+    load_trace,
+    make_trace,
+    save_trace,
+)
+from .voltdb import voltdb_tpcc
+
+#: All Table 2 workloads by name.
+WORKLOADS: Dict[str, Callable[[], WorkloadModel]] = {
+    "redis-rand": redis_rand,
+    "redis-seq": redis_seq,
+    "linear-regression": linear_regression,
+    "histogram": histogram,
+    "page-rank": page_rank,
+    "graph-coloring": graph_coloring,
+    "connected-components": connected_components,
+    "label-propagation": label_propagation,
+    "voltdb-tpcc": voltdb_tpcc,
+}
+
+__all__ = [
+    "AMAT_SPECS",
+    "AmatSpec",
+    "DATA_BASE",
+    "HotProfile",
+    "ReadProfile",
+    "TRACE_DTYPE",
+    "TenantPlacement",
+    "Trace",
+    "WORKLOADS",
+    "WorkloadModel",
+    "WriteProfile",
+    "build_vertex_layout",
+    "concatenate",
+    "connected_components",
+    "dirty_lines_pattern",
+    "generate_data_accesses",
+    "graph_coloring",
+    "graph_coloring_spec",
+    "footprint_summary",
+    "histogram",
+    "interleave",
+    "label_propagation",
+    "linear_regression",
+    "load_trace",
+    "linear_regression_spec",
+    "make_trace",
+    "one_line_per_page",
+    "page_rank",
+    "per_tenant_slice",
+    "redis_rand",
+    "redis_rand_spec",
+    "redis_seq",
+    "save_trace",
+    "voltdb_tpcc",
+]

@@ -1,0 +1,117 @@
+"""GraphLab workload models (graph analytics; paper Table 2).
+
+Four GraphLab algorithms, all with the same structural signature:
+per-iteration sweeps over vertex-state arrays laid out contiguously
+(CSR-style), so dirty pages cluster heavily within 2 MB regions
+(28-44 dirty pages per dirty region — the highest of all workloads),
+while per-page density stays moderate (vertex records are small and
+only active vertices are updated).
+
+Derived per-window targets from Table 2:
+
+================  ========  =========  ==========  =============
+algorithm         amp 4KB   amp 2MB    lines/page  pages/huge
+================  ========  =========  ==========  =============
+Page Rank           4.38      80.71      21.5        27.8
+Graph Coloring      5.57      90.37      18.0        31.6
+Connected Comp.     5.67      82.35      18.3        35.2
+Label Propagation   8.14      95.00      14.5        43.9
+================  ========  =========  ==========  =============
+
+When networkx is available, a real graph (Barabasi-Albert, matching
+power-law degree structure of the paper's inputs) supplies the vertex
+activation sequence, so the per-window active sets have realistic
+frontier correlation; otherwise activation falls back to the clustered
+addressing mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common import units
+from .base import ReadProfile, WorkloadModel, WriteProfile
+
+
+def _graph_model(name: str, lines_per_page: float, bytes_per_line: float,
+                 pages_per_huge: float, memory_bytes: int,
+                 dirty_pages_per_window: int,
+                 full_page_fraction: float) -> WorkloadModel:
+    return WorkloadModel(
+        name=name,
+        memory_bytes=memory_bytes,
+        write_profile=WriteProfile(
+            lines_per_page=lines_per_page,
+            bytes_per_line=bytes_per_line,
+            pages_per_huge=pages_per_huge,
+            dirty_pages_per_window=dirty_pages_per_window,
+            full_page_fraction=full_page_fraction,
+            partial_segment_lines=2.2,   # vertex records: short runs
+            addressing="clustered",      # CSR arrays: dense bands
+        ),
+        read_profile=ReadProfile(
+            pages_per_window=dirty_pages_per_window * 4,
+            lines_per_page=24.0,         # edge-list scans
+            full_page_fraction=0.3,
+            segment_lines=8.0,
+            bytes_per_access=32.0,
+        ),
+        # Iterations alternate gather/apply phases: cyclic amplification.
+        window_drift=(1.0, 0.75, 1.3, 0.85, 1.2, 0.7),
+    )
+
+
+def page_rank(memory_bytes: int = 160 * units.MB,
+              dirty_pages_per_window: int = 480) -> WorkloadModel:
+    """PageRank (Table 2: 4.38 / 80.71 / 1.47; 4.2 GB in the paper)."""
+    return _graph_model("page-rank", 21.5, 43.5, 27.8,
+                        memory_bytes, dirty_pages_per_window, 0.25)
+
+
+def graph_coloring(memory_bytes: int = 192 * units.MB,
+                   dirty_pages_per_window: int = 460) -> WorkloadModel:
+    """Graph Coloring (Table 2: 5.57 / 90.37 / 1.57; 8.2 GB)."""
+    return _graph_model("graph-coloring", 18.0, 40.8, 31.6,
+                        memory_bytes, dirty_pages_per_window, 0.20)
+
+
+def connected_components(memory_bytes: int = 160 * units.MB,
+                         dirty_pages_per_window: int = 440) -> WorkloadModel:
+    """Connected Components (Table 2: 5.67 / 82.35 / 1.62; 5.2 GB)."""
+    return _graph_model("connected-components", 18.3, 39.5, 35.2,
+                        memory_bytes, dirty_pages_per_window, 0.20)
+
+
+def label_propagation(memory_bytes: int = 160 * units.MB,
+                      dirty_pages_per_window: int = 420) -> WorkloadModel:
+    """Label Propagation (Table 2: 8.14 / 95.00 / 1.85; 5.6 GB)."""
+    return _graph_model("label-propagation", 14.5, 34.6, 43.9,
+                        memory_bytes, dirty_pages_per_window, 0.14)
+
+
+def build_vertex_layout(num_vertices: int, record_bytes: int = 64,
+                        seed: int = 7) -> Optional[list]:
+    """Vertex activation order from a power-law graph (networkx).
+
+    Returns per-iteration active-vertex lists, or None when networkx is
+    unavailable.  Used by the graph examples to drive workloads with a
+    real frontier instead of the clustered approximation.
+    """
+    try:
+        import networkx as nx
+    except ImportError:        # pragma: no cover - nx is installed here
+        return None
+    graph = nx.barabasi_albert_graph(num_vertices, 4, seed=seed)
+    frontiers = []
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        frontiers.append(list(frontier))
+        nxt = set()
+        for v in frontier:
+            for n in graph.neighbors(v):
+                if n not in visited:
+                    visited.add(n)
+                    nxt.add(n)
+        frontier = sorted(nxt)
+    return frontiers

@@ -1,0 +1,68 @@
+"""Synthetic microbenchmark traces (Figures 7 and 11, section 6.1/6.4).
+
+* :func:`one_line_per_page` — the Figure 7 benchmark: read then write
+  one cache line in every page of a per-thread region; each thread gets
+  a distinct region.  This is the worst case for page-granularity dirty
+  tracking (amplification 64X) and the cleanest view of fault overhead.
+* :func:`dirty_lines_pattern` — the Figure 11 benchmark: in every page
+  of a region, write N of the 64 lines, contiguous or alternate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..common import units
+from ..common.errors import ConfigError
+
+
+def one_line_per_page(region_bytes: int, threads: int = 1,
+                      base: int = 0, seed: int = 0,
+                      line_in_page: int = 0
+                      ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Figure 7 access streams: per-thread (addrs, writes) arrays.
+
+    Each thread reads then writes the same line of every page in its
+    own ``region_bytes``-sized region, in page order.
+    """
+    if region_bytes < units.PAGE_4K:
+        raise ConfigError("region must hold at least one page")
+    if not 0 <= line_in_page < units.LINES_PER_PAGE:
+        raise ConfigError("line_in_page must be in [0, 64)")
+    pages = region_bytes // units.PAGE_4K
+    streams: List[Tuple[np.ndarray, np.ndarray]] = []
+    for t in range(threads):
+        region_base = base + t * region_bytes
+        page_addrs = (np.uint64(region_base)
+                      + np.arange(pages, dtype=np.uint64)
+                      * np.uint64(units.PAGE_4K)
+                      + np.uint64(line_in_page * units.CACHE_LINE))
+        addrs = np.repeat(page_addrs, 2)
+        writes = np.tile(np.array([False, True]), pages)
+        streams.append((addrs, writes))
+    return streams
+
+
+def dirty_lines_pattern(region_bytes: int, n_lines: int,
+                        pattern: str = "contiguous",
+                        base: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 11 write stream: N dirty lines per page over a region."""
+    if not 1 <= n_lines <= units.LINES_PER_PAGE:
+        raise ConfigError("n_lines must be in [1, 64]")
+    if pattern == "contiguous":
+        line_idx = np.arange(n_lines)
+    elif pattern == "alternate":
+        if n_lines > units.LINES_PER_PAGE // 2:
+            raise ConfigError("alternate pattern supports at most 32 lines")
+        line_idx = np.arange(n_lines) * 2
+    else:
+        raise ConfigError(f"unknown pattern {pattern!r}")
+    pages = region_bytes // units.PAGE_4K
+    page_bases = (np.uint64(base) + np.arange(pages, dtype=np.uint64)
+                  * np.uint64(units.PAGE_4K))
+    offsets = (line_idx * units.CACHE_LINE).astype(np.uint64)
+    addrs = (page_bases[:, None] + offsets[None, :]).ravel()
+    writes = np.ones(addrs.size, dtype=bool)
+    return addrs, writes

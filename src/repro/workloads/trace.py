@@ -1,0 +1,146 @@
+"""Memory-access traces as numpy structured arrays.
+
+A trace records (address, size, is_write, window) per access.  Windows
+correspond to the paper's measurement windows (10 s for Table 2, 1 s
+for KTracker experiments); generators assign them directly rather than
+simulating wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigError
+
+#: Structured dtype of a trace row.
+TRACE_DTYPE = np.dtype([
+    ("addr", np.uint64),
+    ("size", np.uint32),
+    ("write", np.bool_),
+    ("window", np.uint32),
+])
+
+
+@dataclass
+class Trace:
+    """An immutable-ish memory-access trace."""
+
+    data: np.ndarray          # structured array with TRACE_DTYPE
+    memory_bytes: int         # the workload's resident set size
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != TRACE_DTYPE:
+            raise ConfigError(f"trace dtype must be {TRACE_DTYPE}")
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def addrs(self) -> np.ndarray:
+        """Access byte addresses (uint64)."""
+        return self.data["addr"]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Access sizes in bytes."""
+        return self.data["size"]
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Write mask."""
+        return self.data["write"]
+
+    @property
+    def windows(self) -> np.ndarray:
+        """Window ids."""
+        return self.data["window"]
+
+    @property
+    def num_windows(self) -> int:
+        """Number of distinct measurement windows."""
+        if self.data.size == 0:
+            return 0
+        return int(self.data["window"].max()) + 1
+
+    def window_slice(self, window: int) -> "Trace":
+        """All accesses belonging to one window."""
+        mask = self.data["window"] == window
+        return Trace(self.data[mask], self.memory_bytes,
+                     f"{self.name}[w{window}]")
+
+    def iter_windows(self) -> Iterator[Tuple[int, "Trace"]]:
+        """Yield (window_id, trace) pairs in order."""
+        for w in range(self.num_windows):
+            yield w, self.window_slice(w)
+
+    def writes_only(self) -> "Trace":
+        """Just the write accesses."""
+        mask = self.data["write"]
+        return Trace(self.data[mask], self.memory_bytes, f"{self.name}[w]")
+
+    def reads_only(self) -> "Trace":
+        """Just the read accesses."""
+        mask = ~self.data["write"]
+        return Trace(self.data[mask], self.memory_bytes, f"{self.name}[r]")
+
+    def total_bytes(self) -> int:
+        """Sum of access sizes."""
+        return int(self.data["size"].sum())
+
+
+def make_trace(addrs: np.ndarray, sizes: np.ndarray, writes: np.ndarray,
+               windows: np.ndarray, memory_bytes: int,
+               name: str = "trace") -> Trace:
+    """Assemble a :class:`Trace` from parallel arrays."""
+    n = len(addrs)
+    for arr, label in ((sizes, "sizes"), (writes, "writes"),
+                       (windows, "windows")):
+        if len(arr) != n:
+            raise ConfigError(f"{label} length {len(arr)} != addrs length {n}")
+    data = np.empty(n, dtype=TRACE_DTYPE)
+    data["addr"] = addrs
+    data["size"] = sizes
+    data["write"] = writes
+    data["window"] = windows
+    return Trace(data, memory_bytes, name)
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Persist a trace to a compressed ``.npz`` file.
+
+    Long traces are expensive to regenerate; persisted traces also make
+    experiments bit-reproducible across machines.
+    """
+    np.savez_compressed(path, data=trace.data,
+                        memory_bytes=np.int64(trace.memory_bytes),
+                        name=np.bytes_(trace.name.encode()))
+
+
+def load_trace(path) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as archive:
+        data = archive["data"]
+        if data.dtype != TRACE_DTYPE:
+            raise ConfigError(
+                f"file holds dtype {data.dtype}, expected {TRACE_DTYPE}")
+        return Trace(data.copy(), int(archive["memory_bytes"]),
+                     bytes(archive["name"]).decode())
+
+
+def concatenate(traces: List[Trace], name: str = "concat") -> Trace:
+    """Concatenate traces, renumbering windows consecutively."""
+    if not traces:
+        raise ConfigError("nothing to concatenate")
+    parts = []
+    offset = 0
+    for trace in traces:
+        part = trace.data.copy()
+        part["window"] += offset
+        offset += trace.num_windows
+        parts.append(part)
+    memory = max(t.memory_bytes for t in traces)
+    return Trace(np.concatenate(parts), memory, name)

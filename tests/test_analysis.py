@@ -1,0 +1,55 @@
+"""Tests for the analysis/report helpers and paper reference data."""
+
+import pytest
+
+from repro.analysis import TABLE2, paper, render_comparison, render_series, render_table
+from repro.common.errors import ConfigError
+
+
+class TestPaperData:
+    def test_table2_has_all_nine_workloads(self):
+        assert len(TABLE2) == 9
+
+    def test_amplification_ordering_holds(self):
+        # For every workload: 2 MB amp > 4 KB amp > 64 B amp >= 1.
+        for name, row in TABLE2.items():
+            assert row.amp_2m > row.amp_4k > row.amp_cl >= 1.0, name
+
+    def test_redis_rand_is_the_extreme(self):
+        worst = max(TABLE2.values(), key=lambda r: r.amp_4k)
+        assert worst is TABLE2["redis-rand"]
+
+    def test_within(self):
+        assert paper.within(1.7, (1.4, 2.3))
+        assert not paper.within(3.0, (1.4, 2.3))
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [(1, 2.5), (30, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [(1,)], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_render_series(self):
+        text = render_series([(1, 10.0), (2, 20.0)], "n", "goodput")
+        assert "goodput" in text
+        assert "20.0" in text
+
+    def test_render_comparison(self):
+        text = render_comparison({"amp": 30.1}, {"amp": 31.36})
+        assert "measured" in text and "paper" in text
+
+    def test_number_formatting(self):
+        text = render_table(["v"], [(5516.37,), (0.08,), (31.4,)])
+        assert "5,516" in text
+        assert "0.08" in text
+        assert "31.4" in text

@@ -1,0 +1,75 @@
+"""Tests for the YCSB driver."""
+
+import pytest
+
+import repro.common.units as u
+from repro.apps import RemoteKVStore, YCSBDriver
+from repro.common.errors import ConfigError
+from repro.kona import KonaConfig, KonaRuntime
+
+
+@pytest.fixture
+def driver():
+    config = KonaConfig(fmem_capacity=8 * u.MB, vfmem_capacity=64 * u.MB,
+                        slab_bytes=16 * u.MB)
+    store = RemoteKVStore(KonaRuntime(config), capacity=4096,
+                          value_log_bytes=24 * u.MB)
+    d = YCSBDriver(store, records=300, seed=1)
+    d.load()
+    return d
+
+
+class TestMixes:
+    def test_load_populates_all_records(self, driver):
+        assert len(driver.store) == 300
+        assert driver.store.get("user00000042") is not None
+
+    def test_workload_a_balanced(self, driver):
+        result = driver.run("A", operations=400)
+        assert result.reads + result.updates == 400
+        assert 0.35 < result.reads / 400 < 0.65
+
+    def test_workload_c_read_only(self, driver):
+        puts_before = driver.store.stats.puts
+        result = driver.run("C", operations=300)
+        assert result.reads == 300
+        assert driver.store.stats.puts == puts_before
+
+    def test_workload_d_inserts_new_records(self, driver):
+        before = len(driver.store)
+        result = driver.run("D", operations=400)
+        assert result.inserts > 0
+        assert len(driver.store) == before + result.inserts
+
+    def test_workload_f_rmw(self, driver):
+        result = driver.run("F", operations=200)
+        assert result.rmws > 0
+        # RMW both reads and writes remotely.
+        assert result.stall_ns > 0
+
+    def test_unknown_mix_rejected(self, driver):
+        with pytest.raises(ConfigError):
+            driver.run("Z")
+
+    def test_lowercase_accepted(self, driver):
+        assert driver.run("b", operations=50).mix == "B"
+
+
+class TestAccounting:
+    def test_write_heavy_dirties_more_lines(self, driver):
+        a = driver.run("A", operations=400)
+        c = driver.run("C", operations=400)
+        assert a.dirty_lines > 0
+        # Read-only adds nothing beyond what A left behind.
+        assert c.updates == 0
+
+    def test_stall_per_op_positive(self, driver):
+        result = driver.run("B", operations=200)
+        assert result.stall_per_op_ns() > 0
+        assert result.remote_fetches >= 0
+
+    def test_zipf_skew_concentrates_reads(self, driver):
+        # With strong skew, repeated reads hit the CPU cache: misses
+        # per op fall well below one.
+        result = driver.run("C", operations=600)
+        assert result.remote_fetches < 600

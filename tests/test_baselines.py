@@ -1,0 +1,78 @@
+"""Tests for the baseline system models."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.baselines import infiniswap, kona_vm, kona_vm_no_evict, kona_vm_no_wp, legoos
+from repro.common.latency import DEFAULT_LATENCY
+from repro.workloads.synthetic import one_line_per_page
+
+
+class TestFetchLatencies:
+    def test_infiniswap_fetch_lands_at_40us(self):
+        # Section 2.1: "we measured Infiniswap's remote access latency
+        # to be over 40us".
+        engine = infiniswap(64 * u.MB)
+        cost = engine.access(0, False)
+        assert 36_000 <= cost <= 46_000
+
+    def test_legoos_fetch_lands_at_10us(self):
+        engine = legoos(64 * u.MB)
+        cost = engine.access(0, False)
+        assert 8_500 <= cost <= 12_000
+
+    def test_kona_vm_cheaper_than_infiniswap(self):
+        # Section 6.1: Kona-VM is similar to or faster than Infiniswap
+        # (userfaultfd beats the block layer).
+        vm_cost = kona_vm(64 * u.MB).access(0, False)
+        swap_cost = infiniswap(64 * u.MB).access(0, False)
+        assert vm_cost < swap_cost
+
+    def test_ordering(self):
+        vm = kona_vm(64 * u.MB).access(0, False)
+        lego = legoos(64 * u.MB).access(0, False)
+        swap = infiniswap(64 * u.MB).access(0, False)
+        assert vm < swap and lego < swap
+
+
+class TestInfiniswapEviction:
+    def test_eviction_exceeds_32us(self):
+        # Section 2.1: eviction latencies over 32us on Infiniswap.
+        engine = infiniswap(u.PAGE_4K)   # capacity: one page
+        engine.access(0, True)           # dirty it
+        cost = engine.access(u.PAGE_4K, False)   # forces dirty eviction
+        evict_cost = (engine.account["evict_software"]
+                      + engine.account["evict_transfer"])
+        assert evict_cost >= 30_000
+
+    def test_infiniswap_evicts_synchronously(self):
+        engine = infiniswap(u.PAGE_4K)
+        engine.access(0, True)
+        engine.access(u.PAGE_4K, False)
+        assert engine.account["evict_background"] == 0.0
+
+
+class TestKonaVmVariants:
+    def test_no_evict_never_evicts(self):
+        addrs, writes = one_line_per_page(4 * u.MB)[0]
+        engine = kona_vm_no_evict(4 * u.MB)
+        report = engine.run(addrs, writes)
+        assert report.counters["evictions"] == 0
+
+    def test_no_wp_faster_but_incomplete(self):
+        addrs, writes = one_line_per_page(4 * u.MB)[0]
+        wp = kona_vm_no_evict(4 * u.MB)
+        nowp = kona_vm_no_wp(4 * u.MB)
+        r_wp = wp.run(addrs, writes)
+        r_nowp = nowp.run(addrs.copy(), writes)
+        assert r_nowp.elapsed_ns < r_wp.elapsed_ns
+        # Incomplete: it cannot report dirty pages.
+        assert r_nowp.counters["pages_dirtied"] == 0
+
+    def test_page_amplification_is_64x_on_microbenchmark(self):
+        # One dirty line per page, whole page written back: 64X.
+        engine = kona_vm(2 * u.MB)
+        addrs, writes = one_line_per_page(4 * u.MB)[0]
+        report = engine.run(addrs, writes)
+        assert report.dirty_amplification == pytest.approx(64.0)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig7", "--region-mb", "8"])
+        assert args.region_mb == 8
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_fig11c_prints_breakdown(self, capsys):
+        assert main(["fig11c"]) == 0
+        out = capsys.readouterr().out
+        assert "copy" in out and "bitmap" in out
+
+    def test_fig10_prints_workloads(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "redis-rand" in out
+
+    def test_fig11a_prints_strategies(self, capsys):
+        assert main(["fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "kona-cl-log" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--windows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "voltdb-tpcc" in out
+        assert "paper 4KB" in out

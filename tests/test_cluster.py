@@ -1,0 +1,157 @@
+"""Tests for slabs, memory nodes, and the rack controller."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AllocationError, ConfigError, NodeFailure
+from repro.cluster.controller import RackController
+from repro.cluster.memnode import MemoryNode
+from repro.cluster.slab import SlabPool
+from repro.mem.address import AddressRange
+from repro.net.fabric import Fabric
+from repro.net.ring import LogRecord
+
+
+def make_node(name="m0", capacity=64 * u.MB, slab=16 * u.MB, fabric=None):
+    fabric = fabric or Fabric()
+    return MemoryNode(name, capacity, fabric, slab_bytes=slab)
+
+
+class TestSlabPool:
+    def test_carves_whole_slabs(self):
+        pool = SlabPool("n", AddressRange(0, 64 * u.MB), 16 * u.MB)
+        assert pool.free_slabs == 4
+
+    def test_allocate_release_roundtrip(self):
+        pool = SlabPool("n", AddressRange(0, 64 * u.MB), 16 * u.MB)
+        slab = pool.allocate()
+        assert pool.free_slabs == 3
+        assert slab.size == 16 * u.MB
+        pool.release(slab)
+        assert pool.free_slabs == 4
+
+    def test_exhaustion(self):
+        pool = SlabPool("n", AddressRange(0, 16 * u.MB), 16 * u.MB)
+        pool.allocate()
+        with pytest.raises(AllocationError):
+            pool.allocate()
+
+    def test_double_release_rejected(self):
+        pool = SlabPool("n", AddressRange(0, 32 * u.MB), 16 * u.MB)
+        slab = pool.allocate()
+        pool.release(slab)
+        with pytest.raises(AllocationError):
+            pool.release(slab)
+
+    def test_slabs_do_not_overlap(self):
+        pool = SlabPool("n", AddressRange(0, 64 * u.MB), 16 * u.MB)
+        slabs = [pool.allocate() for _ in range(4)]
+        for i, a in enumerate(slabs):
+            for b in slabs[i + 1:]:
+                assert not a.remote_range.overlaps(b.remote_range)
+
+
+class TestMemoryNode:
+    def test_grant_and_reclaim(self):
+        node = make_node()
+        slab = node.grant_slab()
+        assert slab.node == "m0"
+        node.reclaim_slab(slab)
+        assert node.pool.free_slabs == 4
+
+    def test_failure_blocks_grants(self):
+        node = make_node()
+        node.fail()
+        with pytest.raises(NodeFailure):
+            node.grant_slab()
+        node.recover()
+        node.grant_slab()
+
+    def test_log_receive_and_drain(self):
+        node = make_node()
+        node.receive_log([LogRecord(0), LogRecord(64)])
+        receipt = node.drain_log(store_payloads=True)
+        assert receipt.records == 2
+        assert receipt.unpack_ns > 0
+        assert receipt.ack_sent
+        assert node.stored_line_count() == 2
+
+    def test_drain_empty_log(self):
+        node = make_node()
+        receipt = node.drain_log()
+        assert receipt.records == 0
+
+    def test_failed_node_rejects_log(self):
+        node = make_node()
+        node.fail()
+        with pytest.raises(NodeFailure):
+            node.receive_log([LogRecord(0)])
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryNode("x", 100, Fabric())
+
+
+class TestRackController:
+    def _rack(self, nodes=2):
+        fabric = Fabric()
+        controller = RackController()
+        for i in range(nodes):
+            controller.register_node(make_node(f"m{i}", fabric=fabric))
+        return controller
+
+    def test_round_robin_spreads_allocation(self):
+        controller = self._rack(2)
+        slabs = controller.allocate_slabs(4)
+        nodes = {s.node for s in slabs}
+        assert nodes == {"m0", "m1"}
+
+    def test_exclude_for_replicas(self):
+        controller = self._rack(2)
+        slabs = controller.allocate_slabs(2, exclude=["m0"])
+        assert all(s.node == "m1" for s in slabs)
+
+    def test_exclude_everything_rejected(self):
+        controller = self._rack(1)
+        with pytest.raises(AllocationError):
+            controller.allocate_slabs(1, exclude=["m0"])
+
+    def test_exhaustion_rolls_back(self):
+        controller = self._rack(1)   # 4 slabs total
+        with pytest.raises(AllocationError):
+            controller.allocate_slabs(5)
+        # The partial allocation was rolled back.
+        assert controller.free_slab_count() == 4
+
+    def test_skips_failed_nodes(self):
+        controller = self._rack(2)
+        controller.node("m0").fail()
+        slabs = controller.allocate_slabs(2)
+        assert all(s.node == "m1" for s in slabs)
+
+    def test_release(self):
+        controller = self._rack(2)
+        slabs = controller.allocate_slabs(4)
+        controller.release_slabs(slabs)
+        assert controller.free_slab_count() == 8
+
+    def test_remove_node(self):
+        controller = self._rack(2)
+        controller.remove_node("m0")
+        assert controller.nodes == ["m1"]
+        with pytest.raises(ConfigError):
+            controller.node("m0")
+
+    def test_duplicate_registration_rejected(self):
+        fabric = Fabric()
+        controller = RackController()
+        node = make_node(fabric=fabric)
+        controller.register_node(node)
+        with pytest.raises(ConfigError):
+            controller.register_node(node)
+
+    def test_total_capacity_excludes_dead(self):
+        controller = self._rack(2)
+        total = controller.total_capacity()
+        controller.node("m0").fail()
+        assert controller.total_capacity() == total // 2

@@ -1,0 +1,92 @@
+"""Tests for slab placement policies."""
+
+import pytest
+
+import repro.common.units as u
+from repro.cluster import (
+    FirstFitPlacement,
+    LeastLoadedPlacement,
+    MemoryNode,
+    RackController,
+    RoundRobinPlacement,
+    imbalance,
+    make_placement,
+)
+from repro.common.errors import AllocationError, ConfigError
+from repro.net.fabric import Fabric
+
+
+def rack(placement=None, sizes=(64, 64, 64)):
+    fabric = Fabric()
+    controller = RackController(placement=placement)
+    for i, size in enumerate(sizes):
+        controller.register_node(
+            MemoryNode(f"m{i}", size * u.MB, fabric, slab_bytes=16 * u.MB))
+    return controller
+
+
+class TestRoundRobin:
+    def test_spreads_evenly(self):
+        controller = rack(RoundRobinPlacement())
+        slabs = controller.allocate_slabs(6)
+        per_node = {f"m{i}": 0 for i in range(3)}
+        for slab in slabs:
+            per_node[slab.node] += 1
+        assert set(per_node.values()) == {2}
+
+    def test_imbalance_low(self):
+        controller = rack(RoundRobinPlacement())
+        controller.allocate_slabs(9)
+        nodes = [controller.node(n) for n in controller.nodes]
+        assert imbalance(nodes) <= 0.26
+
+
+class TestLeastLoaded:
+    def test_fills_biggest_pool_first(self):
+        controller = rack(LeastLoadedPlacement(), sizes=(128, 64, 64))
+        slabs = controller.allocate_slabs(4)
+        # m0 has 8 slabs vs 4 each: the first allocations go there.
+        assert all(s.node == "m0" for s in slabs)
+
+    def test_equalizes_mixed_rack(self):
+        controller = rack(LeastLoadedPlacement(), sizes=(128, 64, 64))
+        controller.allocate_slabs(10)
+        nodes = [controller.node(n) for n in controller.nodes]
+        assert imbalance(nodes) <= 0.3
+
+
+class TestFirstFit:
+    def test_packs_in_name_order(self):
+        controller = rack(FirstFitPlacement())
+        slabs = controller.allocate_slabs(5)
+        assert [s.node for s in slabs] == ["m0", "m0", "m0", "m0", "m1"]
+
+    def test_drains_cleanly(self):
+        # Packing leaves later nodes empty: they can be decommissioned.
+        controller = rack(FirstFitPlacement())
+        controller.allocate_slabs(4)
+        assert controller.node("m2").pool.allocated_slabs == 0
+        controller.remove_node("m2")
+
+
+class TestFactoryAndEdges:
+    def test_factory(self):
+        assert isinstance(make_placement("least-loaded"),
+                          LeastLoadedPlacement)
+        with pytest.raises(ConfigError):
+            make_placement("astrological")
+
+    def test_policies_skip_failed_nodes(self):
+        controller = rack(LeastLoadedPlacement())
+        controller.node("m0").fail()
+        slabs = controller.allocate_slabs(2)
+        assert all(s.node != "m0" for s in slabs)
+
+    def test_exhaustion_still_raises(self):
+        controller = rack(FirstFitPlacement(), sizes=(16, 16, 16))
+        with pytest.raises(AllocationError):
+            controller.allocate_slabs(4)   # only 3 exist
+
+    def test_imbalance_requires_nodes(self):
+        with pytest.raises(ConfigError):
+            imbalance([])

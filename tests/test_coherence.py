@@ -1,0 +1,184 @@
+"""Tests for the MESI directory and the coherent caching agent."""
+
+import pytest
+
+import repro.common.units as u
+from repro.coherence.agent import CoherentCache
+from repro.coherence.directory import Directory
+from repro.coherence.states import CoherenceEvent, EventKind, LineState
+from repro.common.errors import CoherenceError
+from repro.mem.address import AddressRange
+
+
+HOME = AddressRange(0, 1 * u.MB)
+
+
+def make_directory(events=None):
+    d = Directory(HOME)
+    if events is not None:
+        d.subscribe(events.append)
+    return d
+
+
+class TestDirectoryProtocol:
+    def test_gets_fills_exclusive(self):
+        events = []
+        d = make_directory(events)
+        d.get_shared(0, agent_id=1)
+        assert d.state_of(0) is LineState.EXCLUSIVE
+        assert events == [CoherenceEvent(EventKind.FILL, 0, False)]
+
+    def test_second_sharer_degrades_to_shared(self):
+        d = make_directory()
+        d.get_shared(0, 1)
+        d.get_shared(0, 2)
+        assert d.state_of(0) is LineState.SHARED
+
+    def test_getm_emits_write_fill(self):
+        events = []
+        d = make_directory(events)
+        d.get_modified(0, 1)
+        assert d.state_of(0) is LineState.MODIFIED
+        assert events == [CoherenceEvent(EventKind.FILL, 0, True)]
+
+    def test_upgrade_emits_upgrade_event(self):
+        events = []
+        d = make_directory(events)
+        d.get_shared(0, 1)
+        d.get_modified(0, 1)
+        assert events[-1].kind is EventKind.UPGRADE
+
+    def test_getm_invalidates_other_sharers(self):
+        d = make_directory()
+        invalidated = []
+        d.register_agent(1, lambda a: invalidated.append((1, a)) or False)
+        d.register_agent(2, lambda a: invalidated.append((2, a)) or False)
+        d.get_shared(0, 1)
+        d.get_shared(0, 2)
+        d.get_modified(0, 1)
+        assert (2, 0) in invalidated
+        assert d.state_of(0) is LineState.MODIFIED
+
+    def test_putm_emits_dirty_writeback(self):
+        events = []
+        d = make_directory(events)
+        d.get_modified(0, 1)
+        d.put_modified(0, 1)
+        assert events[-1].kind is EventKind.DIRTY_WRITEBACK
+        assert d.state_of(0) is LineState.INVALID
+
+    def test_putm_from_silent_em_upgrade_accepted(self):
+        # MESI: E->M upgrades are silent; the directory must take PutM
+        # from the owner of an EXCLUSIVE entry.
+        events = []
+        d = make_directory(events)
+        d.get_shared(0, 1)   # E at the directory
+        d.put_modified(0, 1)
+        assert events[-1].kind is EventKind.DIRTY_WRITEBACK
+
+    def test_putm_from_non_owner_rejected(self):
+        d = make_directory()
+        d.get_modified(0, 1)
+        with pytest.raises(CoherenceError):
+            d.put_modified(0, 2)
+
+    def test_put_clean_drops_sharer(self):
+        d = make_directory()
+        d.get_shared(0, 1)
+        d.get_shared(0, 2)
+        d.put_clean(0, 1)
+        assert d.state_of(0) is LineState.SHARED
+        d.put_clean(0, 2)
+        assert d.state_of(0) is LineState.INVALID
+
+    def test_unaligned_line_rejected(self):
+        d = make_directory()
+        with pytest.raises(CoherenceError):
+            d.get_shared(13, 1)
+
+    def test_foreign_address_rejected(self):
+        d = make_directory()
+        with pytest.raises(CoherenceError):
+            d.get_shared(2 * u.MB, 1)
+
+
+class TestSnoop:
+    def test_snoop_pulls_dirty_line(self):
+        events = []
+        d = make_directory(events)
+        dirty_copy = {0: True}
+        d.register_agent(1, lambda a: dirty_copy.pop(a, False))
+        d.get_modified(0, 1)
+        assert d.snoop(0) is True
+        assert events[-1].kind is EventKind.SNOOPED
+        assert d.state_of(0) is LineState.INVALID
+
+    def test_snoop_clean_exclusive_reports_false(self):
+        d = make_directory()
+        d.register_agent(1, lambda a: False)   # clean copy
+        d.get_shared(0, 1)
+        assert d.snoop(0) is False
+
+    def test_snoop_untouched_line(self):
+        d = make_directory()
+        assert d.snoop(64) is False
+
+
+class TestCoherentCache:
+    def _pair(self, capacity=8 * u.KB):
+        d = make_directory()
+        cc = CoherentCache(0, lambda a: d if a in HOME else None,
+                           capacity=capacity, ways=2)
+        cc.attach(d)
+        return d, cc
+
+    def test_read_miss_then_hit(self):
+        d, cc = self._pair()
+        assert not cc.access(0, False)
+        assert cc.access(0, False)
+        assert cc.state_of(0) is LineState.EXCLUSIVE
+
+    def test_silent_em_upgrade(self):
+        d, cc = self._pair()
+        cc.access(0, False)
+        cc.access(0, True)    # E -> M, no directory traffic
+        assert cc.state_of(0) is LineState.MODIFIED
+        assert d.state_of(0) is LineState.EXCLUSIVE   # directory lags
+
+    def test_dirty_eviction_reaches_directory(self):
+        events = []
+        d = make_directory(events)
+        cc = CoherentCache(0, lambda a: d if a in HOME else None,
+                           capacity=2 * 64, ways=2)  # one set
+        cc.attach(d)
+        cc.access(0, True)
+        cc.access(64 * 64, False)   # same set (64 sets stride... force)
+        # Fill the set beyond capacity with conflicting lines.
+        cc.access(2 * 64 * 64, False)
+        assert any(e.kind is EventKind.DIRTY_WRITEBACK for e in events)
+
+    def test_untracked_addresses_have_no_directory_traffic(self):
+        d, cc = self._pair()
+        cc.access(2 * u.MB, True)   # outside HOME: CMem
+        assert d.counters["get_m"] == 0
+
+    def test_flush_tracked_writes_back_modified(self):
+        events = []
+        d = make_directory(events)
+        cc = CoherentCache(0, lambda a: d if a in HOME else None,
+                           capacity=8 * u.KB, ways=2)
+        cc.attach(d)
+        for i in range(8):
+            cc.access(i * 64, True)
+        written = cc.flush_tracked()
+        assert written == 8
+        assert cc.occupancy == 0
+        assert sum(1 for e in events
+                   if e.kind is EventKind.DIRTY_WRITEBACK) == 8
+
+    def test_external_invalidation_clears_copy(self):
+        d, cc = self._pair()
+        cc.access(0, True)
+        # A second agent grabs the line for writing.
+        d.get_modified(0, agent_id=9)
+        assert cc.state_of(0) is LineState.INVALID

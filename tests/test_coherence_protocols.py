@@ -1,0 +1,131 @@
+"""Tests for the MSI / MESI / MOESI protocol variants.
+
+The paper (section 2.3) notes Kona works with any invalidation-based
+protocol; what differs is *when* the home agent sees dirty data.  These
+tests pin those differences down.
+"""
+
+import pytest
+
+import repro.common.units as u
+from repro.coherence import (
+    CoherentCache,
+    Directory,
+    EventKind,
+    LineState,
+    Protocol,
+)
+from repro.mem.address import AddressRange
+
+HOME = AddressRange(0, u.MB)
+
+
+def build(protocol, capacity=8 * u.KB):
+    events = []
+    directory = Directory(HOME, protocol=protocol)
+    directory.subscribe(events.append)
+    cache = CoherentCache(0, lambda a: directory, capacity=capacity,
+                          ways=2, protocol=protocol)
+    cache.attach(directory)
+    return directory, cache, events
+
+
+class TestMSI:
+    def test_read_fills_shared_not_exclusive(self):
+        directory, cache, _ = build(Protocol.MSI)
+        cache.access(0, False)
+        assert cache.state_of(0) is LineState.SHARED
+        assert directory.state_of(0) is LineState.SHARED
+
+    def test_no_silent_upgrade(self):
+        # MSI: the first write to a read line is an explicit GetM —
+        # the home sees intent-to-write immediately.
+        directory, cache, events = build(Protocol.MSI)
+        cache.access(0, False)
+        cache.access(0, True)
+        assert any(e.kind is EventKind.UPGRADE for e in events)
+        assert directory.state_of(0) is LineState.MODIFIED
+
+    def test_mesi_upgrade_is_silent_by_contrast(self):
+        directory, cache, events = build(Protocol.MESI)
+        cache.access(0, False)
+        cache.access(0, True)
+        assert not any(e.kind is EventKind.UPGRADE for e in events)
+        assert directory.state_of(0) is LineState.EXCLUSIVE  # home lags
+
+
+class TestMOESI:
+    def _two_agents(self):
+        events = []
+        directory = Directory(HOME, protocol=Protocol.MOESI)
+        directory.subscribe(events.append)
+        caches = []
+        for agent_id in (0, 1):
+            cache = CoherentCache(agent_id, lambda a: directory,
+                                  capacity=8 * u.KB, ways=2,
+                                  protocol=Protocol.MOESI)
+            cache.attach(directory)
+            caches.append(cache)
+        return directory, caches, events
+
+    def test_dirty_sharing_defers_home_writeback(self):
+        directory, (a, b), events = self._two_agents()
+        a.access(0, True)                    # A holds M
+        b.access(0, False)                   # B reads: A -> OWNED
+        assert a.state_of(0) is LineState.OWNED
+        assert directory.state_of(0) is LineState.OWNED
+        # Crucially: no DIRTY_WRITEBACK has reached the home yet.
+        assert not any(e.kind is EventKind.DIRTY_WRITEBACK for e in events)
+
+    def test_owned_eviction_finally_writes_back(self):
+        directory, (a, b), events = self._two_agents()
+        a.access(0, True)
+        b.access(0, False)
+        a.flush_tracked()                    # PutO
+        assert any(e.kind is EventKind.DIRTY_WRITEBACK for e in events)
+        # B's clean copy survives.
+        assert b.state_of(0) is LineState.SHARED
+        assert directory.state_of(0) is LineState.SHARED
+
+    def test_mesi_dirty_sharing_writes_back_immediately(self):
+        events = []
+        directory = Directory(HOME, protocol=Protocol.MESI)
+        directory.subscribe(events.append)
+        a = CoherentCache(0, lambda x: directory, capacity=8 * u.KB, ways=2)
+        b = CoherentCache(1, lambda x: directory, capacity=8 * u.KB, ways=2)
+        a.attach(directory)
+        b.attach(directory)
+        a.access(0, True)
+        b.access(0, False)
+        # MESI: the home is updated when the read-share happens.
+        assert any(e.kind is EventKind.DIRTY_WRITEBACK for e in events)
+        assert a.state_of(0) is LineState.SHARED
+
+
+class TestDirtyConservationAcrossProtocols:
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_every_written_line_eventually_tracked(self, protocol):
+        directory, cache, events = build(protocol, capacity=2 * u.KB)
+        written = set()
+        for i in range(200):
+            addr = (i * 7 % 97) * u.CACHE_LINE
+            is_write = i % 3 == 0
+            cache.access(addr, is_write)
+            if is_write:
+                written.add(addr)
+        cache.flush_tracked()
+        tracked = {e.line_addr for e in events
+                   if e.kind in (EventKind.DIRTY_WRITEBACK,
+                                 EventKind.SNOOPED)}
+        assert tracked == written
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_msi_sees_more_directory_traffic(self, protocol):
+        directory, cache, _ = build(protocol)
+        for i in range(64):
+            cache.access(i * u.CACHE_LINE, False)
+            cache.access(i * u.CACHE_LINE, True)
+        if protocol is Protocol.MSI:
+            assert directory.counters["get_m"] == 64   # explicit upgrades
+        else:
+            assert directory.counters["get_m"] == 0    # silent E->M

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.common.clock import Account, EventQueue, SimClock
+from repro.common.errors import SimulationError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.now == 10.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(5.0)
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(30, lambda: order.append("c"))
+        q.schedule(10, lambda: order.append("a"))
+        q.schedule(20, lambda: order.append("b"))
+        q.run()
+        assert order == ["a", "b", "c"]
+        assert q.clock.now == 30
+
+    def test_ties_run_in_schedule_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(10, lambda: order.append(1))
+        q.schedule(10, lambda: order.append(2))
+        q.run()
+        assert order == [1, 2]
+
+    def test_cancel(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        q.run()
+        assert fired == []
+
+    def test_run_until_stops_early_and_advances_clock(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append(1))
+        q.schedule(50, lambda: fired.append(2))
+        q.run(until=25)
+        assert fired == [1]
+        assert q.clock.now == 25
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule(5, lambda: fired.append("second"))
+
+        q.schedule(10, first)
+        q.run()
+        assert fired == ["first", "second"]
+        assert q.clock.now == 15
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.clock.advance(100)
+        with pytest.raises(SimulationError):
+            q.schedule_at(50, lambda: None)
+
+    def test_runaway_loop_guard(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule(1, reschedule)
+
+        q.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        h1 = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        assert len(q) == 2
+        h1.cancel()
+        assert len(q) == 1
+
+
+class TestAccount:
+    def test_charge_and_total(self):
+        acc = Account()
+        acc.charge("copy", 10)
+        acc.charge("copy", 5)
+        acc.charge("rdma", 20)
+        assert acc["copy"] == 15
+        assert acc.total == 35
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(SimulationError):
+            Account().charge("x", -1)
+
+    def test_fractions_sum_to_one(self):
+        acc = Account()
+        acc.charge("a", 30)
+        acc.charge("b", 70)
+        fractions = acc.fractions()
+        assert fractions["a"] == pytest.approx(0.3)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert Account().fractions() == {}
+
+    def test_merge(self):
+        a, b = Account(), Account()
+        a.charge("x", 1)
+        b.charge("x", 2)
+        b.charge("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_missing_bucket_is_zero(self):
+        assert Account()["nothing"] == 0.0

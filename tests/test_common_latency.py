@@ -1,0 +1,89 @@
+"""Tests for the latency cost model and its paper calibration."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.common.latency import (
+    DEFAULT_LATENCY,
+    LatencyModel,
+    validate_against_paper,
+)
+
+
+class TestCalibration:
+    def test_rdma_4k_is_about_3us(self):
+        # Paper section 2.1: "a 4KB RDMA read operation is generally as
+        # fast as 3us".
+        cost = DEFAULT_LATENCY.rdma_transfer_ns(u.PAGE_4K, linked=True,
+                                                signaled=False)
+        assert 2_500 <= cost <= 3_600
+
+    def test_infiniswap_is_40us(self):
+        assert DEFAULT_LATENCY.infiniswap_remote_fetch_ns == 40_000
+
+    def test_legoos_is_10us(self):
+        assert DEFAULT_LATENCY.legoos_remote_fetch_ns == 10_000
+
+    def test_numa_factor_exceeds_socket_penalty(self):
+        # Section 4.3: FPGA directory logic is slower than the ~1.5X
+        # NUMA socket penalty.
+        assert DEFAULT_LATENCY.fmem_ns / DEFAULT_LATENCY.cmem_ns > 1.5
+
+    def test_fetch_latency_ordering(self):
+        # Kona < LegoOS < Infiniswap on the remote-fetch path.
+        lat = DEFAULT_LATENCY
+        assert (lat.kona_remote_fetch_ns < lat.legoos_remote_fetch_ns
+                < lat.infiniswap_remote_fetch_ns)
+
+    def test_validate_against_paper_shape(self):
+        checks = validate_against_paper()
+        assert set(checks) == {"rdma_4k_us", "infiniswap_fetch_us",
+                               "legoos_fetch_us", "numa_factor"}
+
+
+class TestDerivedCosts:
+    def test_linked_cheaper_than_doorbell(self):
+        lat = DEFAULT_LATENCY
+        linked = lat.rdma_transfer_ns(4096, linked=True, signaled=False)
+        alone = lat.rdma_transfer_ns(4096, linked=False, signaled=False)
+        assert linked < alone
+
+    def test_unsignaled_cheaper_than_signaled(self):
+        lat = DEFAULT_LATENCY
+        assert (lat.rdma_transfer_ns(64, signaled=False)
+                < lat.rdma_transfer_ns(64, signaled=True))
+
+    def test_pipelined_much_cheaper_than_latency(self):
+        # A pipelined 4 KB write costs its slot, not the round trip.
+        lat = DEFAULT_LATENCY
+        assert (lat.rdma_pipelined_ns(u.PAGE_4K)
+                < lat.rdma_transfer_ns(u.PAGE_4K) / 1.5)
+
+    def test_memcpy_scales_with_size(self):
+        lat = DEFAULT_LATENCY
+        assert lat.memcpy_ns(8192) > lat.memcpy_ns(64)
+
+    def test_hierarchy_levels_ordered(self):
+        levels = DEFAULT_LATENCY.hierarchy_levels()
+        names = [lvl.name for lvl in levels]
+        assert names == ["L1", "L2", "L3"]
+        times = [lvl.hit_ns for lvl in levels]
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(l1_hit_ns=-1.0)
+
+    def test_fmem_faster_than_cmem_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(fmem_ns=10.0, cmem_ns=100.0)
+
+    def test_with_overrides(self):
+        custom = DEFAULT_LATENCY.with_overrides(cmem_ns=100.0)
+        assert custom.cmem_ns == 100.0
+        assert custom.l1_hit_ns == DEFAULT_LATENCY.l1_hit_ns
+        # The original is untouched (frozen dataclass semantics).
+        assert DEFAULT_LATENCY.cmem_ns != 100.0

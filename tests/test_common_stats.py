@@ -1,0 +1,83 @@
+"""Tests for counters, CDFs and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.common.stats import CDF, Counter, geometric_mean, ratio
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("hits")
+        c.add("hits", 4)
+        assert c["hits"] == 5
+
+    def test_missing_is_zero(self):
+        assert Counter()["nope"] == 0
+
+    def test_as_dict_is_a_copy(self):
+        c = Counter()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c["x"] == 1
+
+
+class TestCDF:
+    def test_from_samples_basic(self):
+        cdf = CDF.from_samples([1, 1, 2, 4])
+        assert cdf.at(1) == pytest.approx(0.5)
+        assert cdf.at(2) == pytest.approx(0.75)
+        assert cdf.at(3) == pytest.approx(0.75)
+        assert cdf.at(4) == pytest.approx(1.0)
+
+    def test_at_below_support(self):
+        cdf = CDF.from_samples([5, 6])
+        assert cdf.at(4) == 0.0
+
+    def test_quantile(self):
+        cdf = CDF.from_samples([1, 2, 3, 4])
+        assert cdf.quantile(0.5) == 2
+        assert cdf.quantile(1.0) == 4
+
+    def test_quantile_bounds(self):
+        cdf = CDF.from_samples([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_mean(self):
+        cdf = CDF.from_samples([2, 4, 6])
+        assert cdf.mean == pytest.approx(4.0)
+
+    def test_empty(self):
+        cdf = CDF.from_samples([])
+        assert cdf.at(10) == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_series_roundtrip(self):
+        cdf = CDF.from_samples([3, 3, 7])
+        series = cdf.series()
+        assert series[0] == (3, pytest.approx(2 / 3))
+        assert series[-1] == (7, pytest.approx(1.0))
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_ratio(self):
+        assert ratio(10, 4) == 2.5
+
+    def test_ratio_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio(1, 0)

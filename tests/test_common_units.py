@@ -1,0 +1,58 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+import repro.common.units as u
+
+
+class TestConstants:
+    def test_sizes_are_consistent(self):
+        assert u.KB == 1024
+        assert u.MB == 1024 * u.KB
+        assert u.GB == 1024 * u.MB
+        assert u.PAGE_4K == 4096
+        assert u.PAGE_2M == 512 * u.PAGE_4K
+
+    def test_lines_per_page_is_64(self):
+        # The paper's analysis hinges on 64 lines per 4 KB page.
+        assert u.LINES_PER_PAGE == 64
+        assert u.LINES_PER_PAGE * u.CACHE_LINE == u.PAGE_4K
+
+    def test_time_units(self):
+        assert u.US == 1000 * u.NS
+        assert u.MS == 1000 * u.US
+        assert u.S == 1000 * u.MS
+
+
+class TestConversions:
+    def test_ns_to_us(self):
+        assert u.ns_to_us(3_000) == 3.0
+
+    def test_ns_to_ms(self):
+        assert u.ns_to_ms(2_500_000) == 2.5
+
+    def test_ns_to_s(self):
+        assert u.ns_to_s(1e9) == 1.0
+
+
+class TestHumanFormats:
+    def test_bytes_to_human_small(self):
+        assert u.bytes_to_human(512) == "512B"
+
+    def test_bytes_to_human_kib(self):
+        assert u.bytes_to_human(4096) == "4.0KiB"
+
+    def test_bytes_to_human_gib(self):
+        assert u.bytes_to_human(3 * u.GB) == "3.0GiB"
+
+    def test_time_to_human_ns(self):
+        assert u.time_to_human(5.0) == "5.0ns"
+
+    def test_time_to_human_us(self):
+        assert u.time_to_human(3_000) == "3.0us"
+
+    def test_time_to_human_ms(self):
+        assert u.time_to_human(32_000_000) == "32.0ms"
+
+    def test_time_to_human_s(self):
+        assert u.time_to_human(1.5e9) == "1.50s"

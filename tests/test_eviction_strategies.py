@@ -1,0 +1,130 @@
+"""Tests pinning the Figure 11 eviction-strategy comparison."""
+
+import pytest
+
+import repro.common.units as u
+from repro.analysis import paper
+from repro.baselines.eviction_strategies import (
+    STRATEGIES,
+    ideal_4k_nocopy,
+    ideal_cl_nocopy,
+    kona_cl_log,
+    kona_vm_4k,
+    scatter_gather,
+)
+from repro.common.errors import ConfigError
+
+PAGES = 2048
+
+
+def rel(strategy_result, n, pattern="contiguous"):
+    return strategy_result.goodput_relative_to(kona_vm_4k(PAGES, n, pattern))
+
+
+class TestContiguous:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_cl_log_4_to_5x_for_few_lines(self, n):
+        # Paper 6.4: "4-5X higher goodput ... for 1-4 contiguous".
+        ratio = rel(kona_cl_log(PAGES, n), n)
+        assert paper.within(ratio, paper.FIG11A_CONTIG_1_4)
+
+    def test_monotonically_decreasing_advantage(self):
+        ratios = [rel(kona_cl_log(PAGES, n), n) for n in (1, 2, 4, 8, 16, 32)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_parity_when_fully_dirty(self):
+        ratio = rel(kona_cl_log(PAGES, 64), 64)
+        assert paper.within(ratio, paper.FIG11A_FULL_PAGE_PAR)
+
+    def test_kona_never_loses_contiguous(self):
+        # "If dirty cache-lines are contiguous, Kona is always better
+        # than Kona-VM, or on par when the whole page is dirty."
+        for n in (1, 2, 4, 8, 12, 16, 32, 64):
+            assert rel(kona_cl_log(PAGES, n), n) >= 0.9
+
+
+class TestAlternate:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_2_to_3x_for_random_lines(self, n):
+        ratio = rel(kona_cl_log(PAGES, n, "alternate"), n, "alternate")
+        assert paper.within(ratio, paper.FIG11B_ALT_2_4)
+
+    def test_loses_only_beyond_16_discontiguous(self):
+        at_16 = rel(kona_cl_log(PAGES, 16, "alternate"), 16, "alternate")
+        at_32 = rel(kona_cl_log(PAGES, 32, "alternate"), 32, "alternate")
+        assert at_16 >= 0.85      # still roughly on par at 16
+        assert at_32 < 1.0        # loses past 16
+
+    def test_alternate_worse_than_contiguous(self):
+        for n in (2, 4, 8):
+            assert (rel(kona_cl_log(PAGES, n, "alternate"), n, "alternate")
+                    < rel(kona_cl_log(PAGES, n), n))
+
+    def test_more_than_32_alternate_rejected(self):
+        with pytest.raises(ConfigError):
+            kona_cl_log(PAGES, 33, "alternate")
+
+
+class TestIdealizedBaselines:
+    def test_ideal_4k_constant_advantage(self):
+        # "4KB writes no-copy always achieves ~1.5X higher goodput".
+        ratios = [rel(ideal_4k_nocopy(PAGES, n), n) for n in (1, 8, 64)]
+        for ratio in ratios:
+            assert paper.within(ratio, paper.FIG11_IDEAL_4K)
+        assert max(ratios) - min(ratios) < 0.01
+
+    def test_ideal_cl_great_for_few_contiguous(self):
+        assert rel(ideal_cl_nocopy(PAGES, 1), 1) > rel(kona_cl_log(PAGES, 1), 1)
+
+    def test_ideal_cl_bad_for_discontiguous(self):
+        # "do not work well when dirty cache-lines are discontiguous".
+        assert rel(ideal_cl_nocopy(PAGES, 16, "alternate"), 16,
+                   "alternate") < 1.0
+
+
+class TestScatterGather:
+    def test_consistently_worse_than_cl_log(self):
+        # Section 6.4: scatter-gather "was consistently worse than Kona".
+        for pattern, ns in (("contiguous", (1, 4, 16, 32)),
+                            ("alternate", (1, 4, 16, 32))):
+            for n in ns:
+                sg = rel(scatter_gather(PAGES, n, pattern), n, pattern)
+                kona = rel(kona_cl_log(PAGES, n, pattern), n, pattern)
+                assert sg < kona
+
+
+class TestBreakdown:
+    def test_fig11c_shares(self):
+        result = kona_cl_log(PAGES, 8)
+        fractions = result.account.fractions()
+        for bucket, band in paper.FIG11C_BANDS.items():
+            assert paper.within(fractions[bucket], band), (bucket, fractions)
+
+    def test_copy_dominates_at_typical_densities(self):
+        # Figure 11c: copy is the dominant slice at the densities real
+        # applications exhibit (1-8 dirty lines per page, section 2.2).
+        for n in (1, 8):
+            fractions = kona_cl_log(PAGES, n).account.fractions()
+            assert fractions["copy"] == max(fractions.values())
+
+
+class TestInvariants:
+    def test_goodput_positive_everywhere(self):
+        for name, strategy in STRATEGIES.items():
+            result = strategy(PAGES, 4)
+            assert result.goodput_bytes_per_s() > 0, name
+
+    def test_dirty_bytes_identical_across_strategies(self):
+        results = [s(PAGES, 4) for s in STRATEGIES.values()]
+        assert len({r.dirty_bytes for r in results}) == 1
+
+    def test_wire_bytes_at_least_dirty_bytes(self):
+        for name, strategy in STRATEGIES.items():
+            result = strategy(PAGES, 4)
+            assert result.wire_bytes >= result.dirty_bytes, name
+
+    def test_invalid_line_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            kona_cl_log(PAGES, 0)
+        with pytest.raises(ConfigError):
+            kona_cl_log(PAGES, 65)

@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment drivers at reduced scale.
+
+The full assertions live in benchmarks/; these just pin the drivers'
+shapes and basic sanity so refactors can't silently break the harness.
+"""
+
+import pytest
+
+import repro.common.units as u
+from repro.experiments import (
+    run_fig7,
+    run_fig8_amat,
+    run_fig8d_blocksize,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig11c_breakdown,
+    run_table2,
+)
+from repro.experiments.fig8 import SYSTEMS
+
+
+class TestFig7Driver:
+    def test_small_run_has_all_systems(self):
+        result = run_fig7(region_bytes=4 * u.MB, threads=(1, 2))
+        assert set(result.times_ns) == {
+            "kona", "kona-vm", "kona-noevict", "kona-vm-noevict",
+            "kona-vm-nowp"}
+        assert result.speedup(1) > 1.0
+
+    def test_contention_shrinks_advantage(self):
+        result = run_fig7(region_bytes=4 * u.MB, threads=(1, 4))
+        assert result.speedup(4) < result.speedup(1)
+
+
+class TestFig8Driver:
+    def test_systems_and_fractions(self):
+        result = run_fig8_amat(workloads=("redis-rand",),
+                               fractions=(0.0, 0.5),
+                               data_bytes=8 * u.MB, num_ops=5000)
+        series = result.amat_ns["redis-rand"]
+        assert set(series) == set(SYSTEMS)
+        assert set(series["kona"]) == {0.0, 0.5}
+
+    def test_blocksize_driver(self):
+        sweep = run_fig8d_blocksize(blocks=(1024, 4096),
+                                    fractions=(0.5,),
+                                    data_bytes=8 * u.MB, num_ops=5000)
+        assert set(sweep[0.5]) == {1024, 4096}
+
+
+class TestTraceDrivers:
+    def test_fig9_series_shapes(self):
+        result = run_fig9(windows_rand=14, windows_seq=12,
+                          memory_bytes=16 * u.MB)
+        assert set(result.series) == {"redis-rand", "redis-seq"}
+        assert len(result.steady_ratios("redis-rand")) > 0
+
+    def test_fig10_orders_workloads(self):
+        result = run_fig10(workloads=("redis-rand", "redis-seq"))
+        assert result.max_workload() == "redis-rand"
+
+    def test_table2_rows_complete(self):
+        result = run_table2(workloads=("redis-seq",), windows=4)
+        rows = list(result.rows())
+        assert len(rows) == 1
+        assert rows[0][0] == "redis-seq"
+        assert result.relative_error("redis-seq", "4k") < 1.0
+
+
+class TestFig11Driver:
+    def test_patterns(self):
+        for pattern in ("contiguous", "alternate"):
+            result = run_fig11(pattern=pattern, line_counts=(1, 4),
+                               pages=512)
+            kona = dict(result.series("kona-cl-log"))
+            assert set(kona) == {1, 4}
+            assert kona[1] > 1.0
+
+    def test_breakdown_fractions_sum(self):
+        breakdown = run_fig11c_breakdown(line_counts=(8,), pages=512)
+        shares = {k: v for k, v in breakdown[8].items() if k != "total_ms"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestHeadlineDriver:
+    def test_headline_claims_hold(self):
+        from repro.experiments import run_headline
+        result = run_headline(num_ops=15_000)
+        assert result.all_claims_hold()
+        rows = list(result.rows())
+        assert len(rows) == 5
+
+
+class TestKCacheSimTraceBridge:
+    def test_run_trace_over_workload(self):
+        import numpy as np
+        from repro.tools.kcachesim import KCacheSim
+        from repro.workloads import WORKLOADS
+        from repro.workloads.amat import redis_rand_spec
+        wl = WORKLOADS["redis-rand"]()
+        trace = wl.generate(windows=2, seed=0)
+        sim = KCacheSim(redis_rand_spec(data_bytes=wl.memory_bytes))
+        result = sim.run_trace(trace.addrs[:20000], trace.writes[:20000],
+                               cache_fraction=0.5)
+        amat = result.amat_ns("kona")
+        assert amat > 0
+        assert result.amat_ns("infiniswap") > amat

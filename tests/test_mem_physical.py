@@ -1,0 +1,75 @@
+"""Tests for physical regions and the CMem/FMem/VFMem layout."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AddressError, ConfigError
+from repro.mem.physical import AddressSpaceLayout, MemoryKind, PhysicalRegion
+
+
+class TestPhysicalRegion:
+    def test_create(self):
+        r = PhysicalRegion.create(MemoryKind.CMEM, 0, 8 * u.MB)
+        assert r.size == 8 * u.MB
+        assert r.num_pages == 2048
+
+    def test_unaligned_start_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalRegion.create(MemoryKind.CMEM, 100, 4096)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalRegion.create(MemoryKind.CMEM, 0, 0)
+
+    def test_backed_read_write(self):
+        r = PhysicalRegion.create(MemoryKind.FMEM, 0, 4096, backed=True)
+        r.write(64, np.arange(4, dtype=np.uint8))
+        assert list(r.read(64, 4)) == [0, 1, 2, 3]
+
+    def test_unbacked_read_rejected(self):
+        r = PhysicalRegion.create(MemoryKind.FMEM, 0, 4096)
+        with pytest.raises(AddressError):
+            r.read(0, 8)
+
+    def test_write_overrun_rejected(self):
+        r = PhysicalRegion.create(MemoryKind.FMEM, 0, 4096, backed=True)
+        with pytest.raises(AddressError):
+            r.write(4090, np.zeros(10, dtype=np.uint8))
+
+    def test_snapshot_is_independent(self):
+        r = PhysicalRegion.create(MemoryKind.FMEM, 0, 4096, backed=True)
+        snap = r.snapshot()
+        r.write(0, np.array([7], dtype=np.uint8))
+        assert snap[0] == 0
+        assert r.view()[0] == 7
+
+
+class TestAddressSpaceLayout:
+    def test_regions_are_disjoint(self):
+        layout = AddressSpaceLayout(cmem_size=64 * u.MB, fmem_size=16 * u.MB,
+                                    vfmem_size=64 * u.MB)
+        assert not layout.cmem.range.overlaps(layout.vfmem.range)
+        assert not layout.vfmem.range.overlaps(layout.fmem.range)
+
+    def test_region_of(self):
+        layout = AddressSpaceLayout(64 * u.MB, 16 * u.MB, 64 * u.MB)
+        assert layout.region_of(0) is layout.cmem
+        assert layout.region_of(layout.vfmem.range.start) is layout.vfmem
+        with pytest.raises(AddressError):
+            layout.region_of(10 * u.GB * 100)
+
+    def test_only_vfmem_is_tracked(self):
+        # Paper section 4.3: the FPGA cannot track CMem.
+        layout = AddressSpaceLayout(64 * u.MB, 16 * u.MB, 64 * u.MB)
+        assert layout.is_tracked(layout.vfmem.range.start)
+        assert not layout.is_tracked(0)
+        assert not layout.is_tracked(layout.fmem.range.start)
+
+    def test_vfmem_smaller_than_fmem_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpaceLayout(64 * u.MB, 64 * u.MB, 16 * u.MB)
+
+    def test_unaligned_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpaceLayout(100, 16 * u.MB, 64 * u.MB)

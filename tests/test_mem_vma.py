@@ -1,0 +1,120 @@
+"""Tests for VMA management."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AddressError, ConfigError
+from repro.mem.address import AddressRange
+from repro.mem.pagetable import Protection
+from repro.mem.vma import VMA, VMAMap
+
+
+def vma(start, size, **kwargs):
+    return VMA(AddressRange(start, size), **kwargs)
+
+
+class TestLookup:
+    def test_find(self):
+        m = VMAMap()
+        m.insert(vma(0, 4096))
+        m.insert(vma(8192, 4096))
+        assert m.find(100).range.start == 0
+        assert m.find(8192).range.start == 8192
+        assert m.find(5000) is None
+
+    def test_find_cost_grows_with_population(self):
+        small, big = VMAMap(), VMAMap()
+        small.insert(vma(0, 4096))
+        for i in range(64):
+            big.insert(vma(i * 8192, 4096))
+        assert big.find_cost_ns() > small.find_cost_ns()
+
+
+class TestMutation:
+    def test_overlap_rejected(self):
+        m = VMAMap()
+        m.insert(vma(0, 8192))
+        with pytest.raises(AddressError):
+            m.insert(vma(4096, 8192))
+
+    def test_remove(self):
+        m = VMAMap()
+        m.insert(vma(0, 4096))
+        removed = m.remove(100)
+        assert removed.range.start == 0
+        assert m.find(100) is None
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(AddressError):
+            VMAMap().remove(0)
+
+    def test_split(self):
+        m = VMAMap()
+        m.insert(vma(0, 16384, name="heap"))
+        left, right = m.split(8192)
+        assert left.range.size == 8192
+        assert right.range.start == 8192
+        assert len(m) == 2
+        assert m.find(0).name == "heap"
+
+    def test_split_at_start_is_noop(self):
+        m = VMAMap()
+        m.insert(vma(0, 8192))
+        (only,) = m.split(0)
+        assert len(m) == 1
+
+    def test_split_unaligned_rejected(self):
+        m = VMAMap()
+        m.insert(vma(0, 8192))
+        with pytest.raises(ConfigError):
+            m.split(100)
+
+    def test_merge_adjacent(self):
+        m = VMAMap()
+        m.insert(vma(0, 16384, name="heap"))
+        m.split(8192)
+        assert m.merge_adjacent() == 1
+        assert len(m) == 1
+        assert m.find(0).range.size == 16384
+
+    def test_merge_respects_attributes(self):
+        m = VMAMap()
+        m.insert(vma(0, 4096, protection=Protection.READ))
+        m.insert(vma(4096, 4096, protection=Protection.READ_WRITE))
+        assert m.merge_adjacent() == 0
+
+
+class TestGapSearch:
+    def test_finds_first_gap(self):
+        m = VMAMap()
+        m.insert(vma(0, 4096))
+        m.insert(vma(12288, 4096))
+        assert m.find_gap(4096) == 4096
+        assert m.find_gap(8192) == 4096
+        assert m.find_gap(16384) == 16384
+
+    def test_floor_respected(self):
+        m = VMAMap()
+        assert m.find_gap(4096, floor=10000) == 12288
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            VMAMap().find_gap(0)
+
+
+class TestRemoteAccounting:
+    def test_remote_bytes(self):
+        m = VMAMap()
+        m.insert(vma(0, 4096, remote=True))
+        m.insert(vma(8192, 4096, remote=False))
+        assert m.remote_bytes() == 4096
+
+
+class TestAllocLibIntegration:
+    def test_mmap_registers_remote_vma(self, small_config):
+        from repro.kona import KonaRuntime
+        rt = KonaRuntime(small_config)
+        region = rt.mmap(1 * u.MB)
+        found = rt.alloclib.vmas.find(region.start)
+        assert found is not None and found.remote
+        assert rt.alloclib.vmas.remote_bytes() >= 1 * u.MB

@@ -1,0 +1,79 @@
+"""Tests for the RDMA fabric model."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError, NetworkError
+from repro.net.fabric import Fabric
+
+
+@pytest.fixture
+def fabric():
+    f = Fabric()
+    f.add_node("compute")
+    f.add_node("mem0")
+    return f
+
+
+class TestTopology:
+    def test_add_and_has(self, fabric):
+        assert fabric.has_node("compute")
+        assert not fabric.has_node("ghost")
+
+    def test_duplicate_node_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.add_node("compute")
+
+    def test_unknown_node_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.transfer("compute", "ghost", 64)
+
+
+class TestTransfers:
+    def test_transfer_advances_clock(self, fabric):
+        before = fabric.clock.now
+        receipt = fabric.transfer("compute", "mem0", 4096)
+        assert fabric.clock.now == before + receipt.latency_ns
+        assert receipt.nbytes == 4096
+
+    def test_cost_matches_latency_model(self, fabric):
+        cost = fabric.transfer_cost_ns("compute", "mem0", 4096,
+                                       linked=True, signaled=False)
+        expected = fabric.latency.rdma_transfer_ns(4096, linked=True,
+                                                   signaled=False)
+        assert cost == expected
+
+    def test_bytes_accounted(self, fabric):
+        fabric.transfer("compute", "mem0", 100)
+        fabric.transfer("compute", "mem0", 200)
+        assert fabric.bytes_moved == 300
+        assert fabric.counters["transfers"] == 2
+
+    def test_negative_bytes_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.transfer("compute", "mem0", -1)
+
+
+class TestFailureInjection:
+    def test_failed_node_unreachable(self, fabric):
+        fabric.fail_node("mem0")
+        assert fabric.is_down("mem0")
+        with pytest.raises(NetworkError):
+            fabric.transfer("compute", "mem0", 64)
+        assert fabric.counters["failed_transfers"] == 1
+
+    def test_recover(self, fabric):
+        fabric.fail_node("mem0")
+        fabric.recover_node("mem0")
+        fabric.transfer("compute", "mem0", 64)   # should not raise
+
+    def test_link_delay_adds_latency(self, fabric):
+        base = fabric.transfer_cost_ns("compute", "mem0", 64)
+        fabric.delay_link("compute", "mem0", 50_000)
+        assert fabric.transfer_cost_ns("compute", "mem0", 64) == base + 50_000
+        # The reverse direction is unaffected.
+        assert fabric.transfer_cost_ns("mem0", "compute", 64) == base
+
+    def test_negative_delay_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.delay_link("compute", "mem0", -5)

@@ -1,0 +1,126 @@
+"""Tests for RDMA verbs: registration, batching, completions, inline."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError, NetworkError
+from repro.net.fabric import Fabric
+from repro.net.rdma import (
+    MAX_INLINE,
+    CompletionQueue,
+    OpCode,
+    QueuePair,
+    WorkRequest,
+)
+
+
+@pytest.fixture
+def qp():
+    f = Fabric()
+    f.add_node("a")
+    f.add_node("b")
+    pair = QueuePair(f, "a", "b")
+    pair.register("a", 0, 1 * u.MB)
+    pair.register("b", 0, 1 * u.MB)
+    return pair
+
+
+class TestRegistration:
+    def test_unregistered_local_buffer_rejected(self, qp):
+        wr = WorkRequest(OpCode.RDMA_WRITE, 2 * u.MB, 0, 64)
+        with pytest.raises(NetworkError):
+            qp.post([wr])
+
+    def test_unregistered_remote_buffer_rejected(self, qp):
+        wr = WorkRequest(OpCode.RDMA_WRITE, 0, 2 * u.MB, 64)
+        with pytest.raises(NetworkError):
+            qp.post([wr])
+
+    def test_region_boundary_enforced(self, qp):
+        wr = WorkRequest(OpCode.RDMA_WRITE, u.MB - 32, 0, 64)
+        with pytest.raises(NetworkError):
+            qp.post([wr])
+
+    def test_invalid_region_size_rejected(self, qp):
+        with pytest.raises(ConfigError):
+            qp.register("a", 0, 0)
+
+
+class TestPosting:
+    def test_write_advances_clock(self, qp):
+        elapsed = qp.write(0, 0, 4096)
+        assert elapsed > 0
+        assert qp.fabric.clock.now == elapsed
+
+    def test_batch_cheaper_than_individual(self, qp):
+        batch = [WorkRequest(OpCode.RDMA_WRITE, i * 64, i * 64, 64,
+                             signaled=(i == 9)) for i in range(10)]
+        batched_cost = qp.post(batch)
+        individual_cost = sum(
+            qp.post([WorkRequest(OpCode.RDMA_WRITE, i * 64, i * 64, 64)])
+            for i in range(10))
+        assert batched_cost < individual_cost
+        assert qp.counters["doorbells"] == 11
+
+    def test_empty_chain_rejected(self, qp):
+        with pytest.raises(ConfigError):
+            qp.post([])
+
+    def test_zero_byte_wr_rejected(self, qp):
+        with pytest.raises(ConfigError):
+            qp.post([WorkRequest(OpCode.RDMA_WRITE, 0, 0, 0)])
+
+
+class TestCompletions:
+    def test_signaled_wr_produces_cqe(self, qp):
+        qp.write(0, 0, 64, signaled=True)
+        assert len(qp.cq) == 1
+        completions = qp.cq.poll()
+        assert completions[0].opcode is OpCode.RDMA_WRITE
+        assert len(qp.cq) == 0
+
+    def test_unsignaled_wr_produces_no_cqe(self, qp):
+        qp.write(0, 0, 64, signaled=False)
+        assert len(qp.cq) == 0
+
+    def test_poll_costs_time(self, qp):
+        cq = qp.cq
+        before = qp.fabric.clock.now
+        cq.poll()
+        assert qp.fabric.clock.now > before
+
+    def test_poll_respects_max_entries(self, qp):
+        for _ in range(5):
+            qp.write(0, 0, 64, signaled=True)
+        got = qp.cq.poll(max_entries=3)
+        assert len(got) == 3
+        assert len(qp.cq) == 2
+
+
+class TestInline:
+    def test_inline_skips_registration_check_locally(self, qp):
+        # Inline data rides in the WQE: the local buffer needs no MR.
+        wr = WorkRequest(OpCode.RDMA_WRITE, 5 * u.MB, 0, 64, inline=True)
+        qp.post([wr])   # must not raise
+
+    def test_inline_size_cap(self, qp):
+        wr = WorkRequest(OpCode.RDMA_WRITE, 0, 0, MAX_INLINE + 1, inline=True)
+        with pytest.raises(NetworkError):
+            qp.post([wr])
+
+    def test_inline_read_rejected(self, qp):
+        wr = WorkRequest(OpCode.RDMA_READ, 0, 0, 64, inline=True)
+        with pytest.raises(NetworkError):
+            qp.post([wr])
+
+
+class TestReads:
+    def test_read_is_signaled(self, qp):
+        qp.read(0, 0, 4096)
+        assert len(qp.cq) == 1
+
+    def test_qp_requires_known_nodes(self):
+        f = Fabric()
+        f.add_node("a")
+        with pytest.raises(ConfigError):
+            QueuePair(f, "a", "ghost")

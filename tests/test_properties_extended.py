@@ -1,0 +1,148 @@
+"""Extended property-based tests: VMAs, PML, the KV store, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+import repro.common.units as u
+from repro.apps.kvstore import RemoteKVStore
+from repro.kona import KonaConfig, KonaRuntime
+from repro.kona.pipeline import EvictionPipeline
+from repro.mem.address import AddressRange
+from repro.mem.vma import VMA, VMAMap
+from repro.vm.faults import FaultPath, PageFaultModel
+from repro.vm.pml import PMLTracker
+from repro.vm.writeprotect import WriteProtectTracker
+
+
+class TestVMAProperties:
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=20,
+                    unique=True))
+    def test_inserted_vmas_never_overlap(self, slots):
+        m = VMAMap()
+        for slot in slots:
+            m.insert(VMA(AddressRange(slot * 8192, 4096)))
+        vmas = sorted(m, key=lambda v: v.range.start)
+        for a, b in zip(vmas, vmas[1:]):
+            assert a.range.end <= b.range.start
+
+    @given(st.lists(st.integers(0, 31), min_size=2, max_size=16,
+                    unique=True))
+    def test_split_then_merge_is_identity(self, slots):
+        m = VMAMap()
+        for slot in slots:
+            m.insert(VMA(AddressRange(slot * 16384, 16384), name="x"))
+        before = {(v.range.start, v.range.size) for v in m}
+        for slot in slots:
+            m.split(slot * 16384 + 8192)
+        while m.merge_adjacent():
+            pass
+        # Merging can also coalesce VMAs that were adjacent *before*
+        # the splits, so compare coverage, not fragment identity.
+        covered_before = sorted(
+            (start, start + size) for start, size in before)
+        covered_after = sorted(
+            (v.range.start, v.range.end) for v in m)
+        def flatten(spans):
+            out = []
+            for lo, hi in spans:
+                if out and out[-1][1] == lo:
+                    out[-1] = (out[-1][0], hi)
+                else:
+                    out.append((lo, hi))
+            return out
+        assert flatten(covered_before) == flatten(covered_after)
+
+    @given(st.integers(0, 2 ** 20), st.lists(st.integers(0, 15),
+                                             max_size=8, unique=True))
+    def test_gap_search_result_is_free(self, floor, slots):
+        m = VMAMap()
+        for slot in slots:
+            m.insert(VMA(AddressRange(slot * 8192, 8192)))
+        start = m.find_gap(8192, floor=floor)
+        assert start % u.PAGE_4K == 0
+        assert start >= floor - u.PAGE_4K
+        for vma in m:
+            assert not vma.range.overlaps(AddressRange(start, 8192))
+
+
+class TestPMLProperties:
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    def test_pml_and_wp_agree_on_dirty_set(self, vpns):
+        """Different cost, identical tracked set — the §8 point."""
+        pml = PMLTracker(buffer_entries=16)
+        wp = WriteProtectTracker(PageFaultModel(FaultPath.USERFAULTFD))
+        wp.track(set(range(201)))
+        pml.begin_window()
+        wp.begin_window()
+        for vpn in vpns:
+            pml.on_write(vpn)
+            wp.on_write(vpn)
+        assert pml.dirty_pages() == wp.dirty_pages() == set(vpns)
+
+    @given(st.integers(1, 64), st.integers(1, 500))
+    def test_vm_exits_bounded(self, buffer_entries, pages):
+        pml = PMLTracker(buffer_entries=buffer_entries)
+        pml.begin_window()
+        for vpn in range(pages):
+            pml.on_write(vpn)
+        assert pml.counters["vm_exits"] == pages // buffer_entries
+
+
+class TestPipelineProperties:
+    @given(st.integers(1, 12), st.integers(16, 256))
+    @settings(max_examples=20, deadline=None)
+    def test_elapsed_at_least_every_stage(self, lines, pages):
+        result = EvictionPipeline().run(pages, lines)
+        eps = 1.001
+        assert result.elapsed_ns * eps >= result.producer_busy_ns
+        assert result.elapsed_ns * eps >= result.receiver_busy_ns
+        assert result.batches >= 1
+
+
+class KVStoreMachine(RuleBasedStateMachine):
+    """Stateful test: the remote KV store versus a plain dict."""
+
+    def __init__(self):
+        super().__init__()
+        config = KonaConfig(fmem_capacity=4 * u.MB,
+                            vfmem_capacity=64 * u.MB,
+                            slab_bytes=16 * u.MB)
+        self.store = RemoteKVStore(KonaRuntime(config), capacity=128,
+                                   value_log_bytes=16 * u.MB)
+        self.model = {}
+
+    keys = st.sampled_from([f"key-{i}" for i in range(40)])
+    values = st.binary(min_size=1, max_size=64)
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        if len(self.model) < 100 or key in self.model:
+            self.store.put(key, value)
+            self.model[key] = value
+
+    @rule(key=keys)
+    def get(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=keys)
+    def delete(self, key):
+        existed = key in self.model
+        assert self.store.delete(key) == existed
+        self.model.pop(key, None)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def no_page_faults_ever(self):
+        counters = self.store.runtime.page_table.counters
+        assert counters["faults_missing"] == 0
+
+
+KVStoreMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None)
+TestKVStoreStateful = KVStoreMachine.TestCase

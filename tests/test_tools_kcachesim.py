@@ -1,0 +1,139 @@
+"""Tests for KCacheSim, the remote-fetch AMAT simulator."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.tools.kcachesim import KCacheSim, simulation_overhead
+from repro.workloads.amat import (
+    HotProfile,
+    graph_coloring_spec,
+    linear_regression_spec,
+    redis_rand_spec,
+)
+
+OPS = 15_000
+
+
+@pytest.fixture(scope="module")
+def redis_results():
+    sim = KCacheSim(redis_rand_spec(data_bytes=16 * u.MB))
+    return {f: sim.run(f, num_ops=OPS) for f in (0.0, 0.25, 0.5, 1.0)}
+
+
+class TestAmatShape:
+    def test_amat_decreases_with_cache_size(self, redis_results):
+        for system in ("kona", "legoos", "infiniswap"):
+            amats = [redis_results[f].amat_ns(system)
+                     for f in (0.0, 0.25, 0.5, 1.0)]
+            assert amats == sorted(amats, reverse=True), system
+
+    def test_kona_beats_legoos_at_small_cache(self, redis_results):
+        result = redis_results[0.25]
+        assert result.amat_ns("kona") < result.amat_ns("legoos")
+
+    def test_systems_converge_with_full_cache(self, redis_results):
+        # "For large cache sizes ... all systems perform similarly."
+        result = redis_results[1.0]
+        kona = result.amat_ns("kona")
+        lego = result.amat_ns("legoos")
+        assert lego / kona < 1.5
+
+    def test_kona_main_lower_bound(self, redis_results):
+        # Kona-main is Kona without the FMem NUMA penalty.
+        result = redis_results[0.25]
+        assert result.amat_ns("kona-main") < result.amat_ns("kona")
+
+    def test_amat_is_tens_of_ns(self, redis_results):
+        # The hot-access mix keeps AMAT in the tens of ns, as the
+        # paper's Figure 8 y-axes show.
+        for result in redis_results.values():
+            for system in ("kona", "legoos"):
+                assert 2.0 < result.amat_ns(system) < 120.0
+
+
+class TestStreamingWorkload:
+    def test_linear_regression_flat_amat(self):
+        # Figure 8b: streaming has no reuse, so the AMAT curve is flat
+        # across cache sizes (any nonzero cache already captures the
+        # page-level spatial locality; more capacity buys nothing).
+        sim = KCacheSim(linear_regression_spec(data_bytes=16 * u.MB))
+        amats = [sim.run(f, num_ops=OPS).amat_ns("kona")
+                 for f in (0.05, 0.25, 0.5, 1.0)]
+        spread = (max(amats) - min(amats)) / max(amats)
+        assert spread < 0.15
+
+    def test_zipf_workload_benefits_from_cache(self):
+        sim = KCacheSim(graph_coloring_spec(data_bytes=16 * u.MB))
+        no_cache = sim.run(0.0, num_ops=OPS).amat_ns("kona")
+        half = sim.run(0.5, num_ops=OPS).amat_ns("kona")
+        assert half < no_cache
+
+
+class TestBlockSizeSweep:
+    def test_tiny_blocks_miss_spatial_locality(self):
+        # Figure 8d: 64 B blocks can't exploit multi-line operations.
+        sim = KCacheSim(redis_rand_spec(data_bytes=16 * u.MB))
+        small = sim.run(0.5, block_size=64, num_ops=OPS).amat_ns("kona")
+        page = sim.run(0.5, block_size=4096, num_ops=OPS).amat_ns("kona")
+        assert small > page
+
+    def test_huge_blocks_conflict(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=16 * u.MB))
+        page = sim.run(0.5, block_size=4096, num_ops=OPS).amat_ns("kona")
+        huge = sim.run(0.5, block_size=32 * u.KB, num_ops=OPS).amat_ns("kona")
+        assert huge > page
+
+    def test_sweep_helper(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=8 * u.MB))
+        sweep = sim.sweep_block_size([1024, 4096], cache_fraction=0.5,
+                                     num_ops=5000)
+        assert set(sweep) == {1024, 4096}
+
+
+class TestPlumbing:
+    def test_invalid_fraction_rejected(self):
+        sim = KCacheSim(redis_rand_spec())
+        with pytest.raises(ConfigError):
+            sim.run(1.5)
+
+    def test_zero_cache_has_no_dram_level(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=8 * u.MB))
+        result = sim.run(0.0, num_ops=2000)
+        assert result.hierarchy.dram_cache_name is None
+
+    def test_amat_all_systems(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=8 * u.MB))
+        result = sim.run(0.5, num_ops=2000)
+        amats = result.amat_all_systems()
+        assert {"kona", "kona-main", "legoos", "infiniswap",
+                "kona-vm"} <= set(amats)
+
+    def test_hot_profile_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            HotProfile(l1=0.9, l2=0.2, l3=0.0, mem=0.0)
+
+
+@pytest.mark.slow
+class TestSimulationOverhead:
+    def test_simulator_is_much_slower_than_native(self):
+        # Section 6.2(3): Redis runs 43X slower under KCacheSim.  Any
+        # honest software cache simulator is orders of magnitude slower
+        # than native replay; assert the direction and magnitude.
+        slowdown = simulation_overhead(redis_rand_spec(data_bytes=8 * u.MB),
+                                       num_ops=10_000)
+        assert slowdown > 20.0
+
+
+class TestTLBTerm:
+    def test_tlb_simulation_optional(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=8 * u.MB))
+        plain = sim.run(0.5, num_ops=4000)
+        assert plain.tlb_miss_ratio == 0.0
+
+    def test_huge_pages_reduce_tlb_misses(self):
+        sim = KCacheSim(redis_rand_spec(data_bytes=16 * u.MB))
+        small = sim.run(0.5, num_ops=8000, tlb_page_size=u.PAGE_4K)
+        huge = sim.run(0.5, num_ops=8000, tlb_page_size=u.PAGE_2M)
+        assert huge.tlb_miss_ratio < small.tlb_miss_ratio
+        assert small.amat_ns("kona") > huge.amat_ns("kona")

@@ -1,0 +1,154 @@
+"""Tests for the Pin-style amplification analyzer."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.tools.pintool import (
+    analyze,
+    analyze_window,
+    lines_per_page_cdf,
+    segment_length_cdf,
+)
+from repro.workloads import WORKLOADS, make_trace
+from repro.analysis import TABLE2
+
+
+def trace_of(addr_size_pairs, writes=True, memory=1 * u.MB):
+    addrs = np.array([a for a, _ in addr_size_pairs], dtype=np.uint64)
+    sizes = np.array([s for _, s in addr_size_pairs], dtype=np.uint32)
+    w = np.full(len(addrs), writes)
+    windows = np.zeros(len(addrs), dtype=np.uint32)
+    return make_trace(addrs, sizes, w, windows, memory)
+
+
+class TestWindowAnalysis:
+    def test_single_word_write(self):
+        # 8 bytes written: 1 line, 1 page, 1 hugepage dirty.
+        t = trace_of([(0, 8)])
+        rec = analyze_window(t, 0)
+        assert rec.unique_bytes == 8
+        assert rec.dirty_lines == 1
+        assert rec.amp_cl == pytest.approx(8.0)
+        assert rec.amp_4k == pytest.approx(512.0)
+        assert rec.amp_2m == pytest.approx(262144.0)
+
+    def test_unaligned_write_spans_lines(self):
+        # 16 bytes starting at offset 56 cross a line boundary.
+        t = trace_of([(56, 16)])
+        rec = analyze_window(t, 0)
+        assert rec.dirty_lines == 2
+        assert rec.unique_bytes == 16
+
+    def test_overlapping_writes_counted_once(self):
+        t = trace_of([(0, 64), (32, 64)])
+        rec = analyze_window(t, 0)
+        assert rec.unique_bytes == 96
+
+    def test_full_page_write_amp_one(self):
+        t = trace_of([(0, u.PAGE_4K)])
+        rec = analyze_window(t, 0)
+        assert rec.amp_4k == pytest.approx(1.0)
+        assert rec.amp_cl == pytest.approx(1.0)
+
+    def test_reads_ignored(self):
+        t = trace_of([(0, 8)], writes=False)
+        assert analyze_window(t, 0) is None
+
+    def test_ratio_is_64_for_single_line_pages(self):
+        t = trace_of([(0, 64), (u.PAGE_4K, 64)])
+        rec = analyze_window(t, 0)
+        assert rec.page_vs_line_ratio == pytest.approx(64.0)
+
+
+class TestReportAggregation:
+    def test_mean_skips_requested_windows(self):
+        wl = WORKLOADS["redis-seq"]()
+        trace = wl.generate(windows=5, seed=0)
+        report = analyze(trace)
+        full = report.mean_amplification(skip_first=0, skip_last=0)
+        steady = report.mean_amplification(skip_first=wl.startup_windows,
+                                           skip_last=1)
+        # Startup bulk-load windows have amp ~1, dragging the mean down.
+        assert steady["4k"] > full["4k"]
+
+    def test_skip_everything_rejected(self):
+        wl = WORKLOADS["redis-seq"]()
+        report = analyze(wl.generate(windows=2, seed=0))
+        with pytest.raises(ConfigError):
+            report.mean_amplification(skip_first=5, skip_last=5)
+
+    def test_per_window_ratio_series(self):
+        wl = WORKLOADS["redis-rand"]()
+        report = analyze(wl.generate(windows=4, seed=0))
+        series = report.per_window_ratio()
+        assert len(series) == 4
+        assert all(ratio >= 1.0 for _, ratio in series)
+
+
+@pytest.mark.slow
+class TestTable2Calibration:
+    """The headline Table 2 reproduction, asserted per workload."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_amplification_matches_paper(self, name):
+        wl = WORKLOADS[name]()
+        trace = wl.generate(windows=6, seed=3)
+        report = analyze(trace)
+        measured = report.mean_amplification(skip_first=wl.startup_windows,
+                                             skip_last=1)
+        ref = TABLE2[name]
+        assert measured["4k"] == pytest.approx(ref.amp_4k, rel=0.30)
+        assert measured["cl"] == pytest.approx(ref.amp_cl, rel=0.20)
+        assert measured["2m"] == pytest.approx(ref.amp_2m, rel=0.40)
+
+    def test_all_workloads_amplify_above_2_at_page_granularity(self):
+        # Paper: "All applications exhibit amplification (> 2) for page
+        # granularity tracking."
+        for name, factory in WORKLOADS.items():
+            wl = factory()
+            trace = wl.generate(windows=4, seed=1)
+            m = analyze(trace).mean_amplification(
+                skip_first=wl.startup_windows, skip_last=1)
+            assert m["4k"] > 2.0, name
+            # "cache-line tracking results in a very small amplification
+            # (close to 1)".
+            assert m["cl"] < 2.0, name
+
+
+class TestSpatialLocality:
+    def test_rand_pages_have_few_lines(self):
+        wl = WORKLOADS["redis-rand"]()
+        trace = wl.generate(windows=4, seed=0)
+        steady = trace.data[trace.data["window"] >= wl.startup_windows]
+        from repro.workloads.trace import Trace
+        cdf = lines_per_page_cdf(Trace(steady, trace.memory_bytes), writes=True)
+        # Figure 2: Redis-Rand skewed toward 1-8 lines per page.
+        assert cdf.at(8) > 0.9
+
+    def test_seq_pages_bimodal(self):
+        wl = WORKLOADS["redis-seq"]()
+        trace = wl.generate(windows=4, seed=0)
+        steady = trace.data[trace.data["window"] >= wl.startup_windows]
+        from repro.workloads.trace import Trace
+        cdf = lines_per_page_cdf(Trace(steady, trace.memory_bytes), writes=True)
+        # Figure 2: a substantial fraction of pages fully accessed.
+        assert 1.0 - cdf.at(63) > 0.15
+
+    def test_rand_segments_short(self):
+        wl = WORKLOADS["redis-rand"]()
+        trace = wl.generate(windows=4, seed=0)
+        steady = trace.data[trace.data["window"] >= wl.startup_windows]
+        from repro.workloads.trace import Trace
+        cdf = segment_length_cdf(Trace(steady, trace.memory_bytes), writes=True)
+        # Figure 3: most segments are 1-4 contiguous lines.
+        assert cdf.at(4) > 0.75
+
+    def test_seq_segments_have_page_length_tail(self):
+        wl = WORKLOADS["redis-seq"]()
+        trace = wl.generate(windows=4, seed=0)
+        steady = trace.data[trace.data["window"] >= wl.startup_windows]
+        from repro.workloads.trace import Trace
+        cdf = segment_length_cdf(Trace(steady, trace.memory_bytes), writes=True)
+        assert 1.0 - cdf.at(63) > 0.1

@@ -1,0 +1,164 @@
+"""Tests for the virtual-memory baseline machinery."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.vm.faults import FaultPath, PageFaultModel
+from repro.vm.swap import PagedConfig, PagedRemoteMemory
+from repro.vm.writeprotect import WriteProtectTracker
+
+
+class TestFaultModel:
+    def test_kernel_swap_costlier_than_userfaultfd(self):
+        swap = PageFaultModel(FaultPath.KERNEL_SWAP)
+        uffd = PageFaultModel(FaultPath.USERFAULTFD)
+        assert swap.costs.major_fault_ns > uffd.costs.major_fault_ns
+
+    def test_fault_counters(self):
+        m = PageFaultModel(FaultPath.USERFAULTFD)
+        m.fetch_fault_ns()
+        m.write_protect_fault_ns()
+        assert m.counters["major_faults"] == 1
+        assert m.counters["wp_faults"] == 1
+
+    def test_protect_round_scales_with_pages(self):
+        m = PageFaultModel(FaultPath.USERFAULTFD)
+        assert m.protect_pages_ns(100) > m.protect_pages_ns(10)
+        assert m.protect_pages_ns(0) == 0.0
+
+    def test_shootdown_scales_with_cores(self):
+        few = PageFaultModel(FaultPath.USERFAULTFD, num_cores=2)
+        many = PageFaultModel(FaultPath.USERFAULTFD, num_cores=32)
+        assert many.costs.shootdown_ns > few.costs.shootdown_ns
+
+    def test_negative_pages_rejected(self):
+        m = PageFaultModel(FaultPath.USERFAULTFD)
+        with pytest.raises(ConfigError):
+            m.evict_pages_ns(-1)
+
+
+class TestWriteProtectTracker:
+    def _tracker(self):
+        return WriteProtectTracker(PageFaultModel(FaultPath.USERFAULTFD))
+
+    def test_first_write_faults_once(self):
+        t = self._tracker()
+        t.track({0, 1, 2})
+        t.begin_window()
+        assert t.on_write(0) > 0     # first write: fault
+        assert t.on_write(0) == 0    # second write: no fault
+        assert t.dirty_pages() == {0}
+
+    def test_window_reprotects(self):
+        t = self._tracker()
+        t.track({0})
+        t.begin_window()
+        t.on_write(0)
+        t.begin_window()
+        assert t.on_write(0) > 0     # faults again after re-protection
+
+    def test_untracked_page_becomes_tracked(self):
+        t = self._tracker()
+        t.begin_window()
+        t.on_write(42)
+        t.begin_window()
+        assert t.on_write(42) > 0
+
+    def test_vectorized_window(self):
+        t = self._tracker()
+        addrs = np.array([0, 100, 5000, 5050, 9000], dtype=np.uint64)
+        t.track({0, 1, 2})
+        t.begin_window()
+        cost = t.process_window(addrs)
+        assert cost > 0
+        assert t.dirty_pages() == {0, 1, 2}
+        assert t.counters["first_writes"] == 3
+
+    def test_dirty_bytes_page_granularity(self):
+        t = self._tracker()
+        t.begin_window()
+        t.on_write(3)
+        assert t.dirty_bytes() == u.PAGE_4K
+
+
+class TestPagedRemoteMemory:
+    def _engine(self, capacity_pages=4, **kwargs):
+        config = PagedConfig(name="test", fault_path=FaultPath.USERFAULTFD,
+                             local_capacity=capacity_pages * u.PAGE_4K,
+                             **kwargs)
+        return PagedRemoteMemory(config, app_ns_per_access=10.0)
+
+    def test_miss_costs_fault_plus_network(self):
+        engine = self._engine()
+        cost = engine.access(0, False)
+        assert cost > engine.latency.rdma_transfer_ns(u.PAGE_4K, linked=True)
+        assert engine.counters["pages_fetched"] == 1
+
+    def test_hit_is_free_except_wp(self):
+        engine = self._engine()
+        engine.access(0, False)
+        assert engine.access(100, False) == 0.0
+
+    def test_first_write_pays_wp_fault(self):
+        engine = self._engine()
+        engine.access(0, False)
+        cost = engine.access(0, True)
+        assert cost > 0
+        assert engine.access(50, True) == 0.0   # already unprotected
+
+    def test_eviction_on_capacity(self):
+        engine = self._engine(capacity_pages=2)
+        for page in range(3):
+            engine.access(page * u.PAGE_4K, True)
+        assert engine.counters["evictions"] == 1
+        assert engine.resident_pages == 2
+
+    def test_dirty_eviction_writes_page_back(self):
+        engine = self._engine(capacity_pages=1)
+        engine.access(0, True)
+        engine.access(u.PAGE_4K, False)
+        assert engine.bytes_written_back == u.PAGE_4K
+
+    def test_clean_eviction_silent(self):
+        engine = self._engine(capacity_pages=1)
+        engine.access(0, False)
+        engine.access(u.PAGE_4K, False)
+        assert engine.bytes_written_back == 0
+
+    def test_sync_vs_async_eviction(self):
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 64, 200).astype(np.uint64) * u.PAGE_4K)
+        writes = np.ones(200, dtype=bool)
+        sync = self._engine(capacity_pages=8, async_evict_transfer=False)
+        async_ = self._engine(capacity_pages=8, async_evict_transfer=True)
+        r_sync = sync.run(addrs, writes)
+        r_async = async_.run(addrs.copy(), writes)
+        assert r_sync.elapsed_ns > r_async.elapsed_ns
+        assert r_async.background_ns > 0
+
+    def test_no_wp_variant_skips_wp_faults(self):
+        engine = self._engine(track_dirty=False)
+        engine.access(0, False)
+        assert engine.access(0, True) == 0.0
+        assert engine.account["wp_fault"] == 0.0
+
+    def test_report_accounting_consistent(self):
+        engine = self._engine(capacity_pages=4)
+        addrs = np.arange(16, dtype=np.uint64) * u.PAGE_4K
+        report = engine.run(addrs, np.ones(16, dtype=bool))
+        assert report.accesses == 16
+        assert report.elapsed_ns > 0
+        assert report.counters["pages_fetched"] == 16
+
+    def test_reprotect_all(self):
+        engine = self._engine()
+        engine.access(0, True)
+        engine.reprotect_all()
+        assert engine.access(0, True) > 0   # WP fault again
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            PagedConfig(name="bad", fault_path=FaultPath.USERFAULTFD,
+                        local_capacity=100)

@@ -1,0 +1,146 @@
+"""Tests for traces and the workload generators."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadModel,
+    WriteProfile,
+    make_trace,
+    one_line_per_page,
+    dirty_lines_pattern,
+)
+from repro.workloads.trace import Trace, concatenate
+
+
+class TestTrace:
+    def _trace(self):
+        addrs = np.array([0, 64, 4096, 8192], dtype=np.uint64)
+        sizes = np.array([8, 8, 16, 64], dtype=np.uint32)
+        writes = np.array([True, False, True, False])
+        windows = np.array([0, 0, 1, 1], dtype=np.uint32)
+        return make_trace(addrs, sizes, writes, windows, 16 * u.KB, "t")
+
+    def test_fields(self):
+        t = self._trace()
+        assert len(t) == 4
+        assert t.num_windows == 2
+        assert t.total_bytes() == 96
+
+    def test_window_slice(self):
+        t = self._trace()
+        w1 = t.window_slice(1)
+        assert len(w1) == 2
+        assert list(w1.addrs) == [4096, 8192]
+
+    def test_write_read_split(self):
+        t = self._trace()
+        assert len(t.writes_only()) == 2
+        assert len(t.reads_only()) == 2
+
+    def test_iter_windows(self):
+        t = self._trace()
+        windows = dict(t.iter_windows())
+        assert set(windows) == {0, 1}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            make_trace(np.zeros(2, dtype=np.uint64),
+                       np.zeros(3, dtype=np.uint32),
+                       np.zeros(2, dtype=bool),
+                       np.zeros(2, dtype=np.uint32), 4096)
+
+    def test_concatenate_renumbers_windows(self):
+        t = self._trace()
+        joined = concatenate([t, t])
+        assert joined.num_windows == 4
+
+
+class TestWriteProfile:
+    def test_partial_lines_solves_mix(self):
+        p = WriteProfile(lines_per_page=25.0, bytes_per_line=59.0,
+                         pages_per_huge=25.8, dirty_pages_per_window=100,
+                         full_page_fraction=0.30)
+        mixed = (0.30 * 64 + 0.70 * p.partial_lines_per_page)
+        assert mixed == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WriteProfile(lines_per_page=0, bytes_per_line=10,
+                         pages_per_huge=1, dirty_pages_per_window=1)
+        with pytest.raises(ConfigError):
+            WriteProfile(lines_per_page=1, bytes_per_line=10,
+                         pages_per_huge=1, dirty_pages_per_window=1,
+                         addressing="psychic")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_all_workloads_generate(self, name):
+        wl = WORKLOADS[name]()
+        trace = wl.generate(windows=3, seed=0)
+        assert len(trace) > 0
+        assert trace.num_windows == 3
+        assert trace.name == name
+        # All addresses stay inside the workload's memory.
+        assert int(trace.addrs.max()) < wl.memory_bytes
+
+    def test_deterministic_given_seed(self):
+        wl = WORKLOADS["redis-rand"]()
+        t1 = wl.generate(windows=2, seed=7)
+        t2 = wl.generate(windows=2, seed=7)
+        assert np.array_equal(t1.data, t2.data)
+
+    def test_different_seeds_differ(self):
+        wl = WORKLOADS["redis-rand"]()
+        t1 = wl.generate(windows=2, seed=1)
+        t2 = wl.generate(windows=2, seed=2)
+        assert not np.array_equal(t1.data, t2.data)
+
+    def test_startup_windows_are_dense(self):
+        wl = WORKLOADS["redis-rand"]()   # startup_windows=2
+        trace = wl.generate(windows=4, seed=0)
+        startup = trace.window_slice(0).writes_only()
+        # Bulk load: whole pages written.
+        lines = np.unique(startup.addrs // np.uint64(u.CACHE_LINE))
+        pages = np.unique(lines // np.uint64(u.LINES_PER_PAGE))
+        assert lines.size == pages.size * u.LINES_PER_PAGE
+
+    def test_sequential_addressing_advances(self):
+        wl = WORKLOADS["redis-seq"]()
+        trace = wl.generate(windows=4, seed=0)
+        w2 = trace.window_slice(2).writes_only()
+        w3 = trace.window_slice(3).writes_only()
+        assert int(w3.addrs.mean()) != int(w2.addrs.mean())
+
+
+class TestSynthetic:
+    def test_one_line_per_page_layout(self):
+        streams = one_line_per_page(1 * u.MB, threads=2, base=0)
+        assert len(streams) == 2
+        addrs, writes = streams[0]
+        pages = 1 * u.MB // u.PAGE_4K
+        assert addrs.size == 2 * pages           # read + write per page
+        assert not writes[0] and writes[1]
+        # Thread regions are disjoint.
+        assert int(streams[1][0].min()) >= 1 * u.MB
+
+    def test_dirty_lines_contiguous(self):
+        addrs, writes = dirty_lines_pattern(8 * u.KB, 4)
+        assert addrs.size == 8   # 2 pages x 4 lines
+        assert writes.all()
+        first_page = addrs[:4] % u.PAGE_4K
+        assert list(first_page) == [0, 64, 128, 192]
+
+    def test_dirty_lines_alternate(self):
+        addrs, _ = dirty_lines_pattern(4 * u.KB, 3, "alternate")
+        assert list(addrs % u.PAGE_4K) == [0, 128, 256]
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(ConfigError):
+            dirty_lines_pattern(4 * u.KB, 40, "alternate")
+        with pytest.raises(ConfigError):
+            dirty_lines_pattern(4 * u.KB, 1, "swirl")

@@ -1,0 +1,47 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.workloads import WORKLOADS, load_trace, make_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        wl = WORKLOADS["redis-seq"]()
+        trace = wl.generate(windows=2, seed=5)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.memory_bytes == trace.memory_bytes
+        assert np.array_equal(loaded.data, trace.data)
+
+    def test_loaded_trace_is_analyzable(self, tmp_path):
+        from repro.tools import analyze
+        wl = WORKLOADS["voltdb-tpcc"]()
+        trace = wl.generate(windows=3, seed=1)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        report = analyze(load_trace(path))
+        assert len(report.windows) == 3
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, data=np.zeros(4),
+                            memory_bytes=np.int64(4096),
+                            name=np.bytes_(b"x"))
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_compression_is_effective(self, tmp_path):
+        trace = make_trace(
+            np.zeros(50_000, dtype=np.uint64),
+            np.full(50_000, 8, dtype=np.uint32),
+            np.ones(50_000, dtype=bool),
+            np.zeros(50_000, dtype=np.uint32), 1 * u.MB)
+        path = tmp_path / "zeros.npz"
+        save_trace(trace, path)
+        assert path.stat().st_size < trace.data.nbytes / 10

@@ -1,0 +1,95 @@
+"""Tests for multi-tenant trace composition."""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import ConfigError
+from repro.tools.pintool import analyze
+from repro.workloads import redis_rand, redis_seq, voltdb_tpcc
+from repro.workloads.mixer import (
+    footprint_summary,
+    interleave,
+    per_tenant_slice,
+)
+
+
+@pytest.fixture(scope="module")
+def composed():
+    models = [redis_rand(), redis_seq()]
+    trace, placements = interleave(models, windows=3, seed=4)
+    return models, trace, placements
+
+
+class TestInterleave:
+    def test_partitions_are_disjoint(self, composed):
+        _, _, placements = composed
+        a, b = placements
+        assert a.base + a.size <= b.base
+
+    def test_partitions_hugepage_aligned_gap(self, composed):
+        _, _, placements = composed
+        for p in placements:
+            assert p.base % u.PAGE_2M == 0
+
+    def test_all_accesses_inside_some_partition(self, composed):
+        _, trace, placements = composed
+        addrs = trace.addrs
+        covered = np.zeros(len(trace), dtype=bool)
+        for p in placements:
+            covered |= ((addrs >= p.base) & (addrs < p.base + p.size))
+        assert covered.all()
+
+    def test_windows_aligned(self, composed):
+        _, trace, _ = composed
+        assert trace.num_windows == 3
+
+    def test_tenant_accesses_interleave_within_window(self, composed):
+        _, trace, placements = composed
+        window0 = trace.window_slice(0)
+        first, second = placements
+        in_first = window0.addrs < np.uint64(first.base + first.size)
+        # Not all of tenant 0's accesses come before tenant 1's.
+        assert in_first[:100].sum() not in (0, 100)
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave([])
+
+
+class TestRoundTrip:
+    def test_slice_recovers_tenant_trace(self, composed):
+        models, trace, placements = composed
+        sliced = per_tenant_slice(trace, placements[0])
+        original = models[0].generate(windows=3, seed=4)
+        assert len(sliced) == len(original)
+        # Same multiset of accesses (order differs by the shuffle).
+        assert sorted(sliced.addrs.tolist()) == sorted(
+            original.addrs.tolist())
+
+    def test_per_tenant_amplification_preserved(self, composed):
+        """Composition must not distort a tenant's Table 2 statistics."""
+        models, trace, placements = composed
+        rand_model = models[0]
+        sliced = per_tenant_slice(trace, placements[0])
+        solo = analyze(rand_model.generate(windows=3, seed=4))
+        mixed = analyze(sliced)
+        solo_amp = solo.mean_amplification(skip_first=2, skip_last=0)
+        mixed_amp = mixed.mean_amplification(skip_first=2, skip_last=0)
+        assert mixed_amp["4k"] == pytest.approx(solo_amp["4k"], rel=1e-9)
+
+    def test_footprint_summary(self, composed):
+        _, _, placements = composed
+        shares = footprint_summary(placements)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["redis-rand"] > shares["redis-seq"]
+
+
+class TestThreeTenants:
+    def test_three_way_mix(self):
+        trace, placements = interleave(
+            [redis_rand(), redis_seq(), voltdb_tpcc()], windows=2, seed=1)
+        assert len(placements) == 3
+        assert len({p.base for p in placements}) == 3
+        report = analyze(trace)
+        assert len(report.windows) == 2
