@@ -1,0 +1,31 @@
+"""Chaos engineering for the Kona runtime (paper section 4.5).
+
+Deterministic fault-injection campaigns: a seeded
+:class:`~repro.chaos.engine.ChaosEngine` scripts node crashes,
+recoveries, link delays, flaky links and partitions on the simulated
+clock, drives an access stream through a live
+:class:`~repro.kona.runtime.KonaRuntime`, and checks the recovery
+invariants the paper's failure story promises — no acknowledged dirty
+line lost, full drain on recovery, AMAT back to baseline.
+"""
+
+from .engine import CampaignResult, ChaosEngine
+from .invariants import (
+    InvariantCheck,
+    amat_recovered,
+    check_all,
+    fully_recovered,
+    no_scatter_loss,
+    writeback_conservation,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ChaosEngine",
+    "InvariantCheck",
+    "amat_recovered",
+    "check_all",
+    "fully_recovered",
+    "no_scatter_loss",
+    "writeback_conservation",
+]

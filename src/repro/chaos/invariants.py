@@ -1,0 +1,98 @@
+"""Recovery invariants a chaos campaign must uphold (section 4.5).
+
+Each check inspects a live runtime (or measured AMAT series) and
+returns an :class:`InvariantCheck` with a human-readable detail string,
+so a failing campaign explains *which* durability promise broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..kona.health import HealthState
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One verified (or violated) recovery property."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def writeback_conservation(runtime) -> InvariantCheck:
+    """Every dirty line enqueued is delivered, staged, or parked.
+
+    This is the paper's "no data lost" claim in ledger form: lines
+    enter the eviction handler exactly once and must be accounted for
+    at all times — delivery to a memory node, the staging batch, or the
+    pending-writeback park.  Any imbalance means a line fell on the
+    floor.
+    """
+    eviction = runtime.eviction
+    enqueued = eviction.counters["lines_enqueued"]
+    delivered = eviction.counters["records_delivered"]
+    accounted = delivered + eviction.pending_records + eviction.parked_records
+    return InvariantCheck(
+        name="writeback_conservation",
+        passed=enqueued == accounted,
+        detail=(f"enqueued={enqueued} delivered={delivered} "
+                f"pending={eviction.pending_records} "
+                f"parked={eviction.parked_records}"))
+
+
+def no_scatter_loss(runtime) -> InvariantCheck:
+    """Every record acknowledged by eviction was scattered remotely."""
+    delivered = runtime.eviction.counters["records_delivered"]
+    scattered = sum(
+        runtime.controller.node(name).counters["records_scattered"]
+        for name in runtime.controller.nodes)
+    return InvariantCheck(
+        name="no_scatter_loss",
+        passed=scattered == delivered,
+        detail=f"delivered={delivered} scattered={scattered}")
+
+
+def fully_recovered(runtime) -> InvariantCheck:
+    """The runtime returned to HEALTHY with nothing left parked."""
+    health = runtime.health
+    parked = runtime.eviction.parked_records
+    degraded = len(runtime.failures.degraded_pages)
+    passed = (health.state is HealthState.HEALTHY
+              and parked == 0 and degraded == 0)
+    return InvariantCheck(
+        name="fully_recovered",
+        passed=passed,
+        detail=(f"state={health.state.name} parked={parked} "
+                f"degraded_pages={degraded} "
+                f"mttr_ns={health.mttr_ns:.0f}"))
+
+
+def amat_recovered(pre_fault_amat_ns: float, post_recovery_amat_ns: float,
+                   tolerance: float = 0.25) -> InvariantCheck:
+    """Post-recovery AMAT is within ``tolerance`` of the baseline."""
+    if pre_fault_amat_ns <= 0:
+        return InvariantCheck(name="amat_recovered", passed=False,
+                              detail="no pre-fault baseline measured")
+    ratio = post_recovery_amat_ns / pre_fault_amat_ns
+    return InvariantCheck(
+        name="amat_recovered",
+        passed=ratio <= 1.0 + tolerance,
+        detail=(f"pre={pre_fault_amat_ns:.1f}ns "
+                f"post={post_recovery_amat_ns:.1f}ns ratio={ratio:.3f} "
+                f"tolerance={tolerance:.2f}"))
+
+
+def check_all(runtime, pre_fault_amat_ns: float,
+              post_recovery_amat_ns: float,
+              tolerance: float = 0.25) -> List[InvariantCheck]:
+    """Run the full recovery-invariant suite against a runtime."""
+    return [
+        writeback_conservation(runtime),
+        no_scatter_loss(runtime),
+        fully_recovered(runtime),
+        amat_recovered(pre_fault_amat_ns, post_recovery_amat_ns,
+                       tolerance=tolerance),
+    ]

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig8 | fig8d | fig9 | fig10
     python -m repro fig11a | fig11b | fig11c
     python -m repro sections
+    python -m repro chaos [--seed 0] [--ops 30000]
     python -m repro all
 
 Each command prints the regenerated rows/series next to the paper's
@@ -23,6 +24,7 @@ from typing import Callable, Dict, List
 from . import units
 from .analysis import paper, render_comparison, render_series, render_table
 from .experiments import (
+    run_chaos,
     run_fig7,
     run_fig8_amat,
     run_fig8d_blocksize,
@@ -161,6 +163,27 @@ def cmd_sections(args: argparse.Namespace) -> None:
         title="Section 6.3"))
 
 
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Section 4.5 chaos campaign: node failure, durability, recovery."""
+    result = run_chaos(seed=args.seed, ops=args.ops)
+    print(render_table(
+        ["t (us)", "event"],
+        [(round(t / 1e3, 1), label) for t, label in result.timeline],
+        title=f"Chaos campaign timeline (seed {result.seed})"))
+    print()
+    print(render_table(["metric", "value"], result.rows(),
+                       title="Campaign result"))
+    health = result.telemetry.data["health"]
+    print()
+    print(render_table(
+        ["counter", "value"], sorted(health.items()),
+        title="Health telemetry"))
+    verdict = "held" if result.passed else "VIOLATED"
+    print(f"\nRecovery invariants {verdict}.")
+    if not result.passed:
+        raise SystemExit(1)
+
+
 def cmd_summary(args: argparse.Namespace) -> None:
     """Headline claims: the abstract's numbers, measured."""
     result = run_headline(num_ops=args.ops)
@@ -182,6 +205,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig11b": cmd_fig11b,
     "fig11c": cmd_fig11c,
     "sections": cmd_sections,
+    "chaos": cmd_chaos,
 }
 
 
@@ -214,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-thread region size for fig7 (MB)")
     parser.add_argument("--ops", type=int, default=40_000,
                         help="data operations for AMAT simulations")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed for the chaos command")
     return parser
 
 

@@ -39,6 +39,10 @@ class NetworkError(ReproError):
     """An RDMA operation failed or timed out."""
 
 
+class RetryExhausted(NetworkError):
+    """An operation failed after exhausting its retry budget."""
+
+
 class NodeFailure(ReproError):
     """A memory node crashed or became unreachable."""
 

@@ -1,0 +1,122 @@
+"""Retry with exponential backoff and seeded jitter.
+
+Failure handling (paper section 4.5) needs a retry discipline that is
+*simulatable*: every backoff must be charged to the simulated clock so
+campaigns can measure recovery time, and every jitter draw must come
+from a seeded RNG so the same campaign replays byte-identically.
+
+:class:`RetryPolicy` is the immutable configuration; :class:`Retrier`
+is the stateful executor bound to one policy, one RNG stream and one
+clock.  Components own a Retrier each, so their jitter streams never
+interleave nondeterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+import numpy as np
+
+from .clock import SimClock
+from .errors import ConfigError, NetworkError, RetryExhausted
+from .stats import Counter
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry configuration.
+
+    Attempt ``k`` (zero-based) that fails waits
+    ``min(base * multiplier**k, cap) * (1 + U(-jitter, +jitter))``
+    nanoseconds before the next attempt, with ``U`` drawn from the
+    executor's seeded RNG.
+    """
+
+    max_attempts: int = 4
+    base_backoff_ns: float = 4_000.0
+    multiplier: float = 2.0
+    max_backoff_ns: float = 1_000_000.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_backoff_ns < 0 or self.max_backoff_ns < 0:
+            raise ConfigError("backoff durations must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    def backoff_ns(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff after the zero-based ``attempt``, jittered from ``rng``."""
+        base = min(self.base_backoff_ns * self.multiplier ** attempt,
+                   self.max_backoff_ns)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """What one retried operation cost."""
+
+    attempts: int
+    backoff_ns: float
+
+
+class Retrier:
+    """Executes operations under a :class:`RetryPolicy`.
+
+    Backoff time is charged to the bound clock (if any) *and* reported
+    in the :class:`RetryOutcome`, so callers on a latency-accounting
+    path can bill it to the right bucket.
+    """
+
+    def __init__(self, policy: RetryPolicy, seed: int = 0,
+                 clock: Optional[SimClock] = None) -> None:
+        self.policy = policy
+        self.seed = seed
+        self.clock = clock
+        self._rng = np.random.default_rng(seed)
+        self.counters = Counter()
+        self.last_outcome = RetryOutcome(attempts=0, backoff_ns=0.0)
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn``, retrying on :class:`NetworkError`.
+
+        Raises :class:`RetryExhausted` (chaining the last error) once
+        ``max_attempts`` attempts have all failed.  The outcome of the
+        most recent call — attempts used and total backoff charged — is
+        kept in :attr:`last_outcome`.
+        """
+        backoff_total = 0.0
+        last_error: Optional[NetworkError] = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                value = fn()
+            except NetworkError as error:
+                last_error = error
+                self.counters.add("failed_attempts")
+                if attempt + 1 < self.policy.max_attempts:
+                    wait = self.policy.backoff_ns(attempt, self._rng)
+                    backoff_total += wait
+                    if self.clock is not None:
+                        self.clock.advance(wait)
+                    self.counters.add("retries")
+                continue
+            self.counters.add("successes")
+            if attempt > 0:
+                self.counters.add("recovered_calls")
+            self.last_outcome = RetryOutcome(attempts=attempt + 1,
+                                             backoff_ns=backoff_total)
+            return value
+        self.counters.add("exhausted")
+        self.last_outcome = RetryOutcome(attempts=self.policy.max_attempts,
+                                         backoff_ns=backoff_total)
+        raise RetryExhausted(
+            f"gave up after {self.policy.max_attempts} attempts: "
+            f"{last_error}") from last_error

@@ -7,6 +7,7 @@ assert.  Examples reuse the same drivers, so the numbers in the README
 and EXPERIMENTS.md come from exactly this code.
 """
 
+from .chaos import build_chaos_runtime, chaos_stream, run_chaos
 from .fig7 import Fig7Result, run_fig7
 from .fig8 import Fig8Result, run_fig8_amat, run_fig8d_blocksize
 from .fig9 import Fig9Result, run_fig9
@@ -29,6 +30,9 @@ __all__ = [
     "Fig9Result",
     "HeadlineResult",
     "Table2Result",
+    "build_chaos_runtime",
+    "chaos_stream",
+    "run_chaos",
     "run_fig10",
     "run_fig11",
     "run_fig11c_breakdown",

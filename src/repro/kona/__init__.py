@@ -2,13 +2,14 @@
 
 from .alloclib import AllocLib
 from .config import KonaConfig
-from .eviction import EvictionHandler, EvictionStats
+from .eviction import EvictionHandler, EvictionStats, PendingWritebackBuffer
 from .failures import (
     FailureManager,
     FallbackMode,
     FetchOutcome,
     MachineCheckException,
 )
+from .health import HealthMonitor, HealthState, Incident
 from .poller import Poller
 from .resource_manager import ResourceManager
 from .runtime import VFMEM_BASE, KonaRuntime, build_rack
@@ -23,9 +24,13 @@ __all__ = [
     "FailureManager",
     "FallbackMode",
     "FetchOutcome",
+    "HealthMonitor",
+    "HealthState",
+    "Incident",
     "KonaConfig",
     "KonaRuntime",
     "MachineCheckException",
+    "PendingWritebackBuffer",
     "Poller",
     "ResourceManager",
     "SnapshotDiffTracker",

@@ -41,6 +41,19 @@ class KonaConfig:
                                             # ship the whole page instead
     replication_factor: int = 1             # replicas written on eviction
 
+    # Durability under faults (section 4.5)
+    #: Capacity of the pending-writeback park for dirty lines whose
+    #: destination node is unreachable (records, 64 B each).
+    pending_writeback_records: int = 8192
+    #: Fraction of the park above which eviction signals backpressure.
+    writeback_backpressure: float = 0.75
+    #: Retry budget for eviction-path RDMA writes.
+    retry_max_attempts: int = 4
+    #: First backoff after a failed eviction write (doubles per retry).
+    retry_base_backoff_ns: float = 4_000.0
+    #: Seed of the retry-jitter RNG (campaign determinism).
+    retry_seed: int = 0
+
     # Tracking
     eager_upgrade_tracking: bool = False
     #: Coherence protocol family ("msi", "mesi", "moesi").  MSI makes
@@ -72,6 +85,14 @@ class KonaConfig:
             raise ConfigError("page_size must be a 4 KiB multiple")
         if self.fetch_block < units.CACHE_LINE:
             raise ConfigError("fetch_block must be at least one cache line")
+        if self.pending_writeback_records < 1:
+            raise ConfigError("pending_writeback_records must be >= 1")
+        if not 0.0 < self.writeback_backpressure <= 1.0:
+            raise ConfigError("writeback_backpressure must be in (0, 1]")
+        if self.retry_max_attempts < 1:
+            raise ConfigError("retry_max_attempts must be >= 1")
+        if self.retry_base_backoff_ns < 0:
+            raise ConfigError("retry_base_backoff_ns must be non-negative")
         if self.protocol not in ("msi", "mesi", "moesi"):
             raise ConfigError(
                 f"unknown protocol {self.protocol!r}; "

@@ -15,20 +15,34 @@ eviction when every line is dirty (Figure 11a at 64 lines).
 Replication (paper section 4.5): with ``replication_factor`` > 1 the
 same data is written to each replica before the eviction completes;
 the cost model charges the extra writes but they overlap on the wire.
+
+Durability under faults (also section 4.5): a writeback whose target
+node is unreachable is never dropped.  Dirty-line writes fail over to a
+live replica when one exists; otherwise the records park in a bounded
+:class:`PendingWritebackBuffer` and are redelivered by
+:meth:`EvictionHandler.drain_recovered` once the node returns.  Flushes
+to a live-but-flaky node retry under a seeded exponential-backoff
+:class:`~repro.common.retry.Retrier` before parking.  When the park
+fills past its watermark the handler signals backpressure, and records
+pushed past hard capacity charge a producer-throttle stall — the buffer
+still accepts them, because losing acknowledged-dirty data is the one
+failure mode the paper's design rules out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..common import units
 from ..common.clock import Account
-from ..common.errors import NetworkError
+from ..common.errors import NetworkError, RetryExhausted
 from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.retry import Retrier
 from ..common.stats import Counter
 from ..cluster.controller import RackController
 from ..fpga.translation import RemoteLocation, RemoteTranslationMap
+from ..net.fabric import Fabric
 from ..net.ring import RECORD_BYTES, LogRecord, pack_dirty_lines
 from .config import KonaConfig
 
@@ -72,21 +86,84 @@ class EvictionStats:
         return self.dirty_bytes / (self.elapsed_ns / units.S)
 
 
+class PendingWritebackBuffer:
+    """Bounded per-node park for records whose destination is down.
+
+    The buffer is the durability backstop: records enter when every
+    path to their home node is dead and leave through
+    :meth:`EvictionHandler.drain_recovered`.  ``backpressure`` trips at
+    ``watermark * capacity`` so the producer can throttle before the
+    hard limit; past capacity the buffer *still accepts* (dropping
+    dirty data is not an option) but reports the overflow so the caller
+    can charge a stall.
+    """
+
+    def __init__(self, capacity_records: int, watermark: float) -> None:
+        self.capacity = capacity_records
+        self.watermark = watermark
+        self._parked: Dict[str, List[LogRecord]] = {}
+        self.counters = Counter()
+
+    def park(self, node: str, records: List[LogRecord]) -> int:
+        """Park records destined for ``node``; returns overflow count."""
+        if not records:
+            return 0
+        before = self.total_records
+        self._parked.setdefault(node, []).extend(records)
+        self.counters.add("records_parked", len(records))
+        overflow = max(0, before + len(records) - self.capacity)
+        if overflow:
+            self.counters.add("overflow_records", overflow)
+        return overflow
+
+    def drain(self, node: str) -> List[LogRecord]:
+        """Remove and return everything parked for ``node``."""
+        records = self._parked.pop(node, [])
+        if records:
+            self.counters.add("records_drained", len(records))
+        return records
+
+    def nodes(self) -> List[str]:
+        """Nodes with parked records."""
+        return list(self._parked)
+
+    @property
+    def total_records(self) -> int:
+        """Records currently parked across all nodes."""
+        return sum(len(v) for v in self._parked.values())
+
+    @property
+    def backpressure(self) -> bool:
+        """Whether occupancy crossed the throttle watermark."""
+        return self.total_records >= self.watermark * self.capacity
+
+
 class EvictionHandler:
     """Aggregates dirty lines and writes them to memory nodes."""
 
     def __init__(self, config: KonaConfig, translation: RemoteTranslationMap,
                  controller: Optional[RackController] = None,
-                 latency: LatencyModel = DEFAULT_LATENCY) -> None:
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 retrier: Optional[Retrier] = None,
+                 on_fault: Optional[Callable[[str], None]] = None,
+                 fabric: Optional[Fabric] = None,
+                 local_node: str = "compute") -> None:
         self.config = config
         self.translation = translation
         self.controller = controller
         self.latency = latency
+        self.retrier = retrier
+        self.on_fault = on_fault
+        self.fabric = fabric
+        self.local_node = local_node
         self.stats = EvictionStats()
         self.counters = Counter()
         # Pending log records per destination node, staged in the
         # RDMA-registered buffer until a batch is worth a doorbell.
         self._pending: Dict[str, List[LogRecord]] = {}
+        self.writeback_buffer = PendingWritebackBuffer(
+            config.pending_writeback_records,
+            config.writeback_backpressure)
 
     # -- the eviction sink (wired to MemoryAgent.on_page_eviction) -----------------
 
@@ -120,28 +197,34 @@ class EvictionHandler:
         locations = self._locations(vfmem_page_addr)
         copy = self.latency.memcpy_ns(page)
         self.stats.account.charge("copy", copy)
+        live = [loc for loc in locations if self._location_alive(loc)]
+        self.stats.full_page_writes += 1
+        self.stats.dirty_bytes += page
+        self.counters.add("full_page_writes")
+        if not live:
+            # Every copy target is down: park the page as line records
+            # addressed to the primary so recovery can redeliver it.
+            full_mask = (1 << units.LINES_PER_PAGE) - 1
+            records = self._records_for(vfmem_page_addr, full_mask,
+                                        locations[0])
+            self.counters.add("lines_enqueued", len(records))
+            return copy + self._park_records(locations[0].node, records)
+        if len(live) < len(locations):
+            self.counters.add("replica_writes_skipped",
+                              len(locations) - len(live))
         wire = 0.0
-        for location in locations:
-            self._check_alive(location)
+        for location in live:
             wire = max(wire, self.latency.rdma_transfer_ns(
                 page, linked=True, signaled=False))
             self.stats.wire_bytes += page
         self.stats.account.charge("rdma_write", wire)
-        self.stats.full_page_writes += 1
-        self.stats.dirty_bytes += page
-        self.counters.add("full_page_writes")
         return copy + wire
 
     # -- cache-line log path --------------------------------------------------------------
 
     def _log_dirty_lines(self, vfmem_page_addr: int, dirty_mask: int) -> float:
         primary = self.translation.resolve(vfmem_page_addr)
-        line_addrs = [
-            vfmem_page_addr + i * units.CACHE_LINE
-            for i in range(units.LINES_PER_PAGE) if dirty_mask & (1 << i)
-        ]
-        records, _ = pack_dirty_lines([
-            primary.remote_addr + (a - vfmem_page_addr) for a in line_addrs])
+        target = self._live_location(vfmem_page_addr, primary)
         # Copy each dirty segment into the registered log buffer (the
         # "Copy" slice of Figure 11c — the dominant cost).  Dirty lines
         # are cold in the CPU caches, so the copy model charges a DRAM
@@ -149,13 +232,22 @@ class EvictionHandler:
         segments = [length for _, length in _mask_segments(dirty_mask)]
         copy = self.latency.copy_segments_ns(segments)
         self.stats.account.charge("copy", copy)
-        pending = self._pending.setdefault(primary.node, [])
+        if target is None:
+            # Primary and every replica unreachable: park for recovery.
+            records = self._records_for(vfmem_page_addr, dirty_mask, primary)
+            self.stats.lines_logged += len(records)
+            self.stats.dirty_bytes += len(records) * units.CACHE_LINE
+            self.counters.add("lines_enqueued", len(records))
+            return copy + self._park_records(primary.node, records)
+        records = self._records_for(vfmem_page_addr, dirty_mask, target)
+        pending = self._pending.setdefault(target.node, [])
         pending.extend(records)
+        self.counters.add("lines_enqueued", len(records))
         self.stats.lines_logged += len(records)
         self.stats.dirty_bytes += len(records) * units.CACHE_LINE
         elapsed = copy
         if len(pending) * RECORD_BYTES >= self.config.rdma_batch_bytes:
-            elapsed += self.flush_node(primary.node)
+            elapsed += self.flush_node(target.node)
         return elapsed
 
     def flush_node(self, node: str) -> float:
@@ -169,6 +261,11 @@ class EvictionHandler:
         records = self._pending.pop(node, [])
         if not records:
             return 0.0
+        if not self._node_alive(node):
+            # The node died between staging and the doorbell: park
+            # without burning the retry budget on a known-dead target.
+            self.counters.add("flushes_deferred")
+            return self._park_records(node, records)
         log_bytes = len(records) * RECORD_BYTES
         replicas = max(self.config.replication_factor, 1)
         # A pipelined producer exposes only the posting cost and part of
@@ -184,11 +281,29 @@ class EvictionHandler:
         # Remote scatter + acknowledgment round trip, partially hidden
         # behind preparing the next batch (the small "Ack wait" slice
         # of Figure 11c).
-        self._deliver(node, records)
+        backoff_ns = 0.0
+        try:
+            if self.retrier is not None:
+                self.retrier.call(lambda: self._deliver(node, records))
+                backoff_ns = self.retrier.last_outcome.backoff_ns
+                retries = self.retrier.last_outcome.attempts - 1
+                if retries > 0:
+                    self.counters.add("flush_retries", retries)
+                    self.stats.account.charge("retry_backoff", backoff_ns)
+            else:
+                self._deliver(node, records)
+        except (NetworkError, RetryExhausted):
+            if self.retrier is not None:
+                backoff_ns = self.retrier.last_outcome.backoff_ns
+                self.counters.add(
+                    "flush_retries", self.retrier.last_outcome.attempts - 1)
+                self.stats.account.charge("retry_backoff", backoff_ns)
+            self.counters.add("flush_failures")
+            return wire + backoff_ns + self._park_records(node, records)
         ack_exposed = self.latency.rdma_base_ns * 1.2
         self.stats.account.charge("ack_wait", ack_exposed)
         self.counters.add("log_flushes")
-        return wire + ack_exposed
+        return wire + backoff_ns + ack_exposed
 
     def flush_all(self) -> float:
         """Flush every node's pending records (barrier/teardown)."""
@@ -205,12 +320,74 @@ class EvictionHandler:
                 :self.config.replication_factor]
         return [self.translation.resolve(vfmem_page_addr)]
 
-    def _check_alive(self, location: RemoteLocation) -> None:
+    def _node_alive(self, node_name: str) -> bool:
+        """Whether ``node_name`` is up *and* reachable from here.
+
+        A partitioned node counts as dead for writeback purposes: its
+        records park and drain once the partition heals.
+        """
+        if (self.fabric is not None
+                and self.fabric.has_node(node_name)
+                and not self.fabric.reachable(self.local_node, node_name)):
+            return False
         if self.controller is None:
-            return
-        node = self.controller.node(location.node)
-        if not node.alive:
-            raise NetworkError(f"memory node {location.node!r} is down")
+            return True
+        return self.controller.node(node_name).alive
+
+    def _location_alive(self, location: RemoteLocation) -> bool:
+        return self._node_alive(location.node)
+
+    def _live_location(self, vfmem_page_addr: int,
+                       primary: RemoteLocation) -> Optional[RemoteLocation]:
+        """Primary if alive, else the first live replica, else None."""
+        if self._location_alive(primary):
+            return primary
+        for location in self.translation.resolve_replicas(
+                vfmem_page_addr)[1:]:
+            if self._location_alive(location):
+                self.counters.add("eviction_failovers")
+                return location
+        return None
+
+    def _records_for(self, vfmem_page_addr: int, dirty_mask: int,
+                     location: RemoteLocation) -> List[LogRecord]:
+        """Log records for a page's dirty lines, addressed at ``location``."""
+        offsets = [i * units.CACHE_LINE
+                   for i in range(units.LINES_PER_PAGE)
+                   if dirty_mask & (1 << i)]
+        records, _ = pack_dirty_lines(
+            [location.remote_addr + off for off in offsets])
+        return records
+
+    def _park_records(self, node: str, records: List[LogRecord]) -> float:
+        """Park records for ``node`` until it recovers; returns stall ns."""
+        self.counters.add("lines_requeued", len(records))
+        overflow = self.writeback_buffer.park(node, records)
+        self._fault(f"writebacks parked for {node}")
+        if overflow == 0:
+            return 0.0
+        # Past hard capacity the producer is throttled: model the wait
+        # as one base round trip per overflowing record.
+        stall = overflow * self.latency.rdma_base_ns
+        self.stats.account.charge("backpressure_stall", stall)
+        self.counters.add("backpressure_stalls")
+        return stall
+
+    def drain_recovered(self) -> float:
+        """Redeliver parked writebacks to every node that came back.
+
+        Called on the recovery path; returns simulated ns spent.  Nodes
+        still down keep their parked records.
+        """
+        total = 0.0
+        for node in self.writeback_buffer.nodes():
+            if not self._node_alive(node):
+                continue
+            records = self.writeback_buffer.drain(node)
+            self.counters.add("lines_redelivered", len(records))
+            self._pending.setdefault(node, []).extend(records)
+            total += self.flush_node(node)
+        return total
 
     def _deliver(self, node_name: str, records: List[LogRecord]) -> None:
         """Hand the log batch to the memory node's receiver thread."""
@@ -219,13 +396,31 @@ class EvictionHandler:
         node = self.controller.node(node_name)
         if not node.alive:
             raise NetworkError(f"memory node {node_name!r} is down")
+        if (self.fabric is not None and self.fabric.has_node(node_name)
+                and self.fabric.drops_transfer(self.local_node, node_name)):
+            raise NetworkError(
+                f"flaky link dropped log flush to {node_name!r}")
         node.receive_log(records)
         receipt = node.drain_log()
         # Remote unpack time is remote CPU time; it overlaps with the
         # producer, so it is recorded but not charged to eviction.
         self.counters.add("records_delivered", receipt.records)
 
+    def _fault(self, reason: str) -> None:
+        if self.on_fault is not None:
+            self.on_fault(reason)
+
     @property
     def pending_records(self) -> int:
         """Records staged but not yet shipped."""
         return sum(len(v) for v in self._pending.values())
+
+    @property
+    def parked_records(self) -> int:
+        """Records parked awaiting a node recovery."""
+        return self.writeback_buffer.total_records
+
+    @property
+    def backpressure(self) -> bool:
+        """Whether the pending-writeback park is past its watermark."""
+        return self.writeback_buffer.backpressure

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..common.errors import NodeFailure, ReproError
 from ..common.latency import DEFAULT_LATENCY, LatencyModel
@@ -65,7 +65,9 @@ class FailureManager:
         self.latency = latency
         self.coherence_timeout_ns = coherence_timeout_ns
         self.counters = Counter()
-        self.degraded_pages: List[int] = []
+        #: Pages degraded to fault-on-access, with the pfn each one had
+        #: at degradation time so recovery can restore the real frame.
+        self.degraded_pages: List[Tuple[int, int]] = []
 
     # -- fetch path ----------------------------------------------------------------
 
@@ -101,9 +103,12 @@ class FailureManager:
         self.counters.add("pages_degraded")
         if self.page_table is not None:
             vpn = self.page_table.vpn_of(vfmem_addr)
-            if self.page_table.entry(vpn) is not None:
+            entry = self.page_table.entry(vpn)
+            if entry is not None:
+                self.degraded_pages.append((vpn, entry.pfn))
                 self.page_table.mark_not_present(vpn)
-            self.degraded_pages.append(vpn)
+            else:
+                self.degraded_pages.append((vpn, vpn))
         raise NodeFailure(
             f"all replicas for {vfmem_addr:#x} are down; "
             f"page degraded to fault-on-access")
@@ -122,12 +127,16 @@ class FailureManager:
         return tripped
 
     def recover_degraded(self) -> int:
-        """Re-arm degraded pages after the outage clears; returns count."""
+        """Re-arm degraded pages after the outage clears; returns count.
+
+        Each page gets back the pfn recorded when it was degraded —
+        re-arming with a made-up frame would silently remap the page.
+        """
         count = len(self.degraded_pages)
         if self.page_table is not None:
-            for vpn in self.degraded_pages:
+            for vpn, pfn in self.degraded_pages:
                 if self.page_table.entry(vpn) is not None:
-                    self.page_table.mark_present(vpn, pfn=vpn)
+                    self.page_table.mark_present(vpn, pfn=pfn)
         self.degraded_pages.clear()
         if count:
             self.counters.add("recoveries")

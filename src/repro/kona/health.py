@@ -1,0 +1,139 @@
+"""Runtime health state machine (paper section 4.5).
+
+A Kona deployment is **HEALTHY** until a fault (dead memory node,
+network partition, flaky link) forces a fallback path, at which point
+it is **DEGRADED**: fetches fail over to replicas, pages degrade to
+fault-on-access, and dirty writebacks park in the pending buffer.  When
+the operator (or the chaos campaign) signals that the outage cleared,
+the runtime enters **RECOVERING** while it drains parked writebacks and
+re-arms degraded pages, then returns to HEALTHY.
+
+The monitor charges wall time in each state to the *simulated* clock,
+so campaigns can report MTTR and time-in-degraded deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional, Tuple
+
+from ..common.clock import SimClock
+from ..common.errors import SimulationError
+from ..common.stats import Counter
+
+
+class HealthState(Enum):
+    """Coarse runtime health, in degradation order."""
+
+    HEALTHY = auto()
+    DEGRADED = auto()
+    RECOVERING = auto()
+
+
+#: Legal transitions of the health state machine.
+_TRANSITIONS = {
+    (HealthState.HEALTHY, HealthState.DEGRADED),
+    (HealthState.DEGRADED, HealthState.RECOVERING),
+    (HealthState.RECOVERING, HealthState.HEALTHY),
+    # A relapse: a second fault lands while draining the first.
+    (HealthState.RECOVERING, HealthState.DEGRADED),
+}
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One completed degradation episode."""
+
+    degraded_at_ns: float
+    recovered_at_ns: float
+    reason: str
+
+    @property
+    def mttr_ns(self) -> float:
+        """Time from degradation to full recovery."""
+        return self.recovered_at_ns - self.degraded_at_ns
+
+
+class HealthMonitor:
+    """Tracks the HEALTHY / DEGRADED / RECOVERING state machine."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.state = HealthState.HEALTHY
+        self.counters = Counter()
+        self.transitions: List[Tuple[float, str]] = []
+        self.incidents: List[Incident] = []
+        self._entered_at = clock.now
+        self._degraded_at: Optional[float] = None
+        self._degraded_reason = ""
+        self._time_in: dict = {state: 0.0 for state in HealthState}
+
+    # -- transitions -------------------------------------------------------------
+
+    def degrade(self, reason: str = "") -> None:
+        """Enter DEGRADED (idempotent while already degraded)."""
+        if self.state is HealthState.DEGRADED:
+            self.counters.add("repeat_faults")
+            return
+        self._move(HealthState.DEGRADED)
+        if self._degraded_at is None:
+            self._degraded_at = self.clock.now
+            self._degraded_reason = reason
+        self.counters.add("degradations")
+
+    def start_recovery(self) -> None:
+        """Enter RECOVERING once the underlying outage has cleared."""
+        if self.state is HealthState.RECOVERING:
+            return
+        self._move(HealthState.RECOVERING)
+        self.counters.add("recoveries_started")
+
+    def recovered(self) -> None:
+        """Return to HEALTHY; closes the open incident and records MTTR."""
+        self._move(HealthState.HEALTHY)
+        if self._degraded_at is not None:
+            self.incidents.append(Incident(
+                degraded_at_ns=self._degraded_at,
+                recovered_at_ns=self.clock.now,
+                reason=self._degraded_reason))
+            self._degraded_at = None
+            self._degraded_reason = ""
+        self.counters.add("recoveries_completed")
+
+    def _move(self, to: HealthState) -> None:
+        if (self.state, to) not in _TRANSITIONS:
+            raise SimulationError(
+                f"illegal health transition {self.state.name} -> {to.name}")
+        self._time_in[self.state] += self.clock.now - self._entered_at
+        self.state = to
+        self._entered_at = self.clock.now
+        self.transitions.append((self.clock.now, to.name))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def time_in_ns(self, state: HealthState) -> float:
+        """Cumulative simulated ns spent in ``state`` (including now)."""
+        accrued = self._time_in[state]
+        if self.state is state:
+            accrued += self.clock.now - self._entered_at
+        return accrued
+
+    @property
+    def time_in_degraded_ns(self) -> float:
+        """Simulated ns not fully healthy (DEGRADED plus RECOVERING)."""
+        return (self.time_in_ns(HealthState.DEGRADED)
+                + self.time_in_ns(HealthState.RECOVERING))
+
+    @property
+    def mttr_ns(self) -> float:
+        """Mean time to repair over completed incidents (0 if none)."""
+        if not self.incidents:
+            return 0.0
+        return (sum(i.mttr_ns for i in self.incidents)
+                / len(self.incidents))
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the runtime is fully healthy right now."""
+        return self.state is HealthState.HEALTHY

@@ -21,8 +21,9 @@ import numpy as np
 
 from ..common import units
 from ..common.clock import Account
-from ..common.errors import AddressError, ConfigError
+from ..common.errors import AddressError, ConfigError, NodeFailure
 from ..common.latency import DEFAULT_LATENCY, LatencyModel
+from ..common.retry import Retrier, RetryPolicy
 from ..common.stats import Counter
 from ..cluster.controller import RackController
 from ..cluster.memnode import MemoryNode
@@ -38,7 +39,8 @@ from ..vm.swap import ExecutionReport
 from .alloclib import AllocLib
 from .config import KonaConfig
 from .eviction import EvictionHandler
-from .failures import FailureManager, FallbackMode
+from .failures import FailureManager, FallbackMode, MachineCheckException
+from .health import HealthMonitor, HealthState
 from .poller import Poller
 from .resource_manager import ResourceManager
 from .tracker import DirtyDataTracker
@@ -122,8 +124,16 @@ class KonaRuntime:
             self.page_table)
         self.alloclib = AllocLib(self.resource_manager)
         self.tracker = DirtyDataTracker(self.agent.bitmap, cfg.page_size)
+        self.health = HealthMonitor(self.fabric.clock)
+        self.retrier = Retrier(
+            RetryPolicy(max_attempts=cfg.retry_max_attempts,
+                        base_backoff_ns=cfg.retry_base_backoff_ns),
+            seed=cfg.retry_seed, clock=self.fabric.clock)
         self.eviction = EvictionHandler(cfg, self.translation,
-                                        self.controller, latency)
+                                        self.controller, latency,
+                                        retrier=self.retrier,
+                                        on_fault=self.health.degrade,
+                                        fabric=self.fabric)
         self.agent.on_page_eviction(self._eviction_sink)
         self.poller = Poller()
 
@@ -145,9 +155,14 @@ class KonaRuntime:
                                             linked=True, signaled=False)
 
     def _locate_with_failover(self, vfmem_addr: int):
-        outcome = self.failures.resolve_for_fetch(vfmem_addr)
+        try:
+            outcome = self.failures.resolve_for_fetch(vfmem_addr)
+        except (NodeFailure, MachineCheckException):
+            self.health.degrade("fetch path lost all replicas")
+            raise
         if outcome.used_replica:
             self.counters.add("replica_reads")
+            self.health.degrade("fetch failed over to replica")
         if outcome.extra_latency_ns:
             self.account.charge("failover_wait", outcome.extra_latency_ns)
         return outcome.location
@@ -276,6 +291,29 @@ class KonaRuntime:
             return 0
         self.counters.add("watermark_reclaims")
         return self.agent.proactive_evict(count)
+
+    def recover(self) -> float:
+        """Recovery path after an outage clears (paper section 4.5).
+
+        Drains parked writebacks to every node that came back, re-arms
+        pages degraded to fault-on-access, and walks the health state
+        machine RECOVERING -> HEALTHY once nothing is left parked.
+        Returns background ns consumed by the drain.
+        """
+        if (self.health.state is HealthState.HEALTHY
+                and self.eviction.parked_records == 0):
+            return 0.0
+        if self.health.state is HealthState.DEGRADED:
+            self.health.start_recovery()
+        drained_ns = self.eviction.drain_recovered()
+        self.background_ns += drained_ns
+        pages = self.failures.recover_degraded()
+        if pages:
+            self.counters.add("pages_rearmed", pages)
+        if (self.health.state is HealthState.RECOVERING
+                and self.eviction.parked_records == 0):
+            self.health.recovered()
+        return drained_ns
 
     def flush(self) -> float:
         """Write everything back: CPU caches, FMem, pending logs.

@@ -83,6 +83,24 @@ def snapshot(runtime) -> TelemetrySnapshot:
                 runtime.failures.counters["replica_failovers"],
             "degraded_pages": len(runtime.failures.degraded_pages),
         },
+        "health": {
+            "state": runtime.health.state.name,
+            "degradations": runtime.health.counters["degradations"],
+            "recoveries": runtime.health.counters["recoveries_completed"],
+            "mttr_ns": round(runtime.health.mttr_ns, 1),
+            "time_in_degraded_ns": round(
+                runtime.health.time_in_degraded_ns, 1),
+            "flush_retries": runtime.eviction.counters["flush_retries"],
+            "flush_failures": runtime.eviction.counters["flush_failures"],
+            "lines_requeued": runtime.eviction.counters["lines_requeued"],
+            "lines_redelivered":
+                runtime.eviction.counters["lines_redelivered"],
+            "parked_records": runtime.eviction.parked_records,
+            "backpressure_stalls":
+                runtime.eviction.counters["backpressure_stalls"],
+            "eviction_failovers":
+                runtime.eviction.counters["eviction_failovers"],
+        },
         "network": {
             "transfers": runtime.fabric.counters["transfers"],
             "bytes_moved": runtime.fabric.bytes_moved,

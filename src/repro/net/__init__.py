@@ -1,6 +1,6 @@
 """RDMA fabric, verbs, and the cache-line eviction log."""
 
-from .fabric import Fabric, TransferReceipt
+from .fabric import Fabric, FaultEvent, FaultSchedule, TransferReceipt
 from .rdma import (
     MAX_INLINE,
     Completion,
@@ -16,6 +16,8 @@ __all__ = [
     "Completion",
     "CompletionQueue",
     "Fabric",
+    "FaultEvent",
+    "FaultSchedule",
     "LogRecord",
     "MAX_INLINE",
     "MemoryRegion",

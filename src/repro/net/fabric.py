@@ -6,14 +6,22 @@ The fabric is a cost model plus a failure injector.  Costs follow
 100 Gbps RoCE.
 
 Failure injection supports the paper's section 4.5 discussion: a link
-can be delayed (slow network) or cut (unreachable node), and the Kona
-runtime must degrade to its fallback path instead of wedging.
+can be delayed (slow network), made probabilistically flaky (lossy
+switch), partitioned (cut between node groups) or cut entirely
+(unreachable node), and the Kona runtime must degrade to its fallback
+path instead of wedging.  :class:`FaultSchedule` scripts those
+injections at simulated-clock timestamps so chaos campaigns replay
+deterministically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..common.clock import SimClock
 from ..common.errors import ConfigError, NetworkError
@@ -31,6 +39,60 @@ class TransferReceipt:
     latency_ns: float
 
 
+@dataclass(order=True)
+class FaultEvent:
+    """One scheduled fault injection (orderable by firing time)."""
+
+    at_ns: float
+    seq: int
+    label: str = field(compare=False)
+    apply: Callable[[], None] = field(compare=False)
+
+
+class FaultSchedule:
+    """A deterministic script of fault injections on the simulated clock.
+
+    Campaigns register labelled actions with :meth:`at`; the driver
+    calls :meth:`fire_due` as simulated time advances, and every event
+    whose timestamp has passed runs exactly once, in timestamp order.
+    No wall-clock time is consulted anywhere, so the same schedule
+    replays identically.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[FaultEvent] = []
+        self._seq = itertools.count()
+        self.fired: List[Tuple[float, str]] = []
+
+    def at(self, at_ns: float, label: str,
+           action: Callable[[], None]) -> None:
+        """Schedule ``action`` to fire once the clock reaches ``at_ns``."""
+        if at_ns < 0:
+            raise ConfigError(f"cannot schedule fault at {at_ns} ns")
+        heapq.heappush(self._heap, FaultEvent(at_ns=at_ns,
+                                              seq=next(self._seq),
+                                              label=label, apply=action))
+
+    def fire_due(self, now_ns: float) -> List[str]:
+        """Run every event with ``at_ns <= now_ns``; returns their labels."""
+        labels: List[str] = []
+        while self._heap and self._heap[0].at_ns <= now_ns:
+            event = heapq.heappop(self._heap)
+            event.apply()
+            self.fired.append((event.at_ns, event.label))
+            labels.append(event.label)
+        return labels
+
+    def next_at(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None when drained."""
+        return self._heap[0].at_ns if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self._heap)
+
+
 class Fabric:
     """A rack-scale RDMA network connecting named nodes."""
 
@@ -41,6 +103,9 @@ class Fabric:
         self._nodes: Set[str] = set()
         self._down: Set[str] = set()
         self._extra_delay_ns: Dict[Tuple[str, str], float] = {}
+        self._flaky: Dict[Tuple[str, str], Tuple[float, np.random.Generator]] = {}
+        self._jitter: Dict[str, Tuple[float, np.random.Generator]] = {}
+        self._cuts: List[Tuple[Set[str], Set[str]]] = []
         self.counters = Counter()
         self.bytes_moved = 0
 
@@ -68,22 +133,129 @@ class Fabric:
         self._down.discard(name)
 
     def delay_link(self, src: str, dst: str, extra_ns: float) -> None:
-        """Add fixed latency to one direction of a link (slow network)."""
+        """Add fixed latency to one direction of a link (slow network).
+
+        An ``extra_ns`` of zero fully retracts any injected delay, so a
+        schedule can restore the link to its calibrated latency.
+        """
         self._require(src)
         self._require(dst)
         if extra_ns < 0:
             raise ConfigError("extra delay must be non-negative")
-        self._extra_delay_ns[(src, dst)] = extra_ns
+        if extra_ns == 0:
+            self._extra_delay_ns.pop((src, dst), None)
+        else:
+            self._extra_delay_ns[(src, dst)] = extra_ns
+
+    def clear_delay(self, src: str, dst: str) -> None:
+        """Remove any injected delay on one direction of a link."""
+        self._require(src)
+        self._require(dst)
+        self._extra_delay_ns.pop((src, dst), None)
+
+    def set_flaky(self, src: str, dst: str, drop_rate: float,
+                  seed: int = 0) -> None:
+        """Make one link direction drop transfers with ``drop_rate``.
+
+        Drops are drawn from a per-link RNG seeded here, so a campaign
+        replays the same loss pattern for the same seed.  A dropped
+        transfer still occupies the wire (its latency is charged)
+        before raising :class:`NetworkError`.
+        """
+        self._require(src)
+        self._require(dst)
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ConfigError(f"drop rate {drop_rate} not in [0, 1]")
+        if drop_rate == 0.0:
+            self._flaky.pop((src, dst), None)
+        else:
+            self._flaky[(src, dst)] = (drop_rate,
+                                       np.random.default_rng(seed))
+
+    def clear_flaky(self, src: str, dst: str) -> None:
+        """Make one link direction reliable again."""
+        self._flaky.pop((src, dst), None)
+
+    def drops_transfer(self, src: str, dst: str) -> bool:
+        """Draw the flaky-link lottery for one attempt.
+
+        Advances the per-link RNG, so each call models one distinct
+        attempt on the wire; retry loops therefore see independent
+        (but seed-reproducible) draws.  Counters are bumped on a drop.
+        """
+        flaky = self._flaky.get((src, dst))
+        if flaky is None:
+            return False
+        drop_rate, rng = flaky
+        if rng.random() < drop_rate:
+            self.counters.add("failed_transfers")
+            self.counters.add("dropped_transfers")
+            return True
+        return False
+
+    def set_node_jitter(self, name: str, mean_extra_ns: float,
+                        seed: int = 0) -> None:
+        """Add exponentially distributed latency to a slow node.
+
+        Every transfer touching ``name`` pays an extra delay drawn from
+        an Exp(``mean_extra_ns``) distribution on a per-node seeded RNG
+        (slow-CPU / overloaded-NIC jitter).
+        """
+        self._require(name)
+        if mean_extra_ns < 0:
+            raise ConfigError("jitter mean must be non-negative")
+        if mean_extra_ns == 0:
+            self._jitter.pop(name, None)
+        else:
+            self._jitter[name] = (mean_extra_ns,
+                                  np.random.default_rng(seed))
+
+    def clear_node_jitter(self, name: str) -> None:
+        """Remove slow-node jitter."""
+        self._jitter.pop(name, None)
+
+    def partition(self, group_a: Iterable[str],
+                  group_b: Iterable[str]) -> None:
+        """Cut the network between two node groups (both directions)."""
+        side_a, side_b = set(group_a), set(group_b)
+        for name in side_a | side_b:
+            self._require(name)
+        if side_a & side_b:
+            raise ConfigError(
+                f"partition groups overlap: {sorted(side_a & side_b)}")
+        self._cuts.append((side_a, side_b))
+
+    def heal_partition(self) -> None:
+        """Remove every partition cut."""
+        self._cuts.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether any cut separates ``src`` from ``dst``."""
+        for side_a, side_b in self._cuts:
+            if ((src in side_a and dst in side_b)
+                    or (src in side_b and dst in side_a)):
+                return True
+        return False
 
     def is_down(self, name: str) -> bool:
         """Whether the node is currently failed."""
         return name in self._down
 
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a transfer between live endpoints could succeed."""
+        return (src not in self._down and dst not in self._down
+                and not self.is_partitioned(src, dst))
+
     # -- transfers ---------------------------------------------------------------
 
     def transfer_cost_ns(self, src: str, dst: str, nbytes: int, *,
                          linked: bool = False, signaled: bool = True) -> float:
-        """Price a one-sided transfer without performing it."""
+        """Price a one-sided transfer without performing it.
+
+        Deterministic costs only — injected delays are included, but
+        per-transfer jitter draws are not (they happen in
+        :meth:`transfer` so pricing stays side-effect free).
+        """
         base = self.latency.rdma_transfer_ns(nbytes, linked=linked,
                                              signaled=signaled)
         return base + self._extra_delay_ns.get((src, dst), 0.0)
@@ -92,7 +264,8 @@ class Fabric:
                  linked: bool = False, signaled: bool = True) -> TransferReceipt:
         """Move ``nbytes`` from ``src`` to ``dst``, advancing the clock.
 
-        Raises :class:`NetworkError` if either endpoint is failed.
+        Raises :class:`NetworkError` if either endpoint is failed, the
+        pair is partitioned, or a flaky link drops the transfer.
         """
         self._require(src)
         self._require(dst)
@@ -102,8 +275,23 @@ class Fabric:
             if endpoint in self._down:
                 self.counters.add("failed_transfers")
                 raise NetworkError(f"node {endpoint!r} is unreachable")
+        if self.is_partitioned(src, dst):
+            self.counters.add("failed_transfers")
+            self.counters.add("partitioned_transfers")
+            raise NetworkError(
+                f"network partition between {src!r} and {dst!r}")
         latency_ns = self.transfer_cost_ns(src, dst, nbytes, linked=linked,
                                            signaled=signaled)
+        for endpoint in (src, dst):
+            jitter = self._jitter.get(endpoint)
+            if jitter is not None:
+                mean, rng = jitter
+                latency_ns += rng.exponential(mean)
+        if self.drops_transfer(src, dst):
+            # The attempt occupied the wire before it was lost.
+            self.clock.advance(latency_ns)
+            raise NetworkError(
+                f"flaky link {src!r}->{dst!r} dropped transfer")
         self.clock.advance(latency_ns)
         self.counters.add("transfers")
         self.bytes_moved += nbytes

@@ -23,6 +23,7 @@ from enum import Enum, auto
 from typing import Dict, List, Optional, Sequence
 
 from ..common.errors import ConfigError, NetworkError
+from ..common.retry import Retrier
 from ..common.stats import Counter
 from ..mem.address import AddressRange
 from .fabric import Fabric
@@ -166,6 +167,26 @@ class QueuePair:
                                         nbytes=wr.nbytes))
             self.counters.add("work_requests")
         self.counters.add("doorbells")
+        return self.fabric.clock.now - start
+
+    def post_with_retry(self, wrs: Sequence[WorkRequest],
+                        retrier: Retrier) -> float:
+        """Post a chain, re-posting the whole batch on network failure.
+
+        Backoff between attempts is drawn from the retrier's seeded RNG
+        and charged to the fabric clock, so retried posts are both
+        deterministic and visible in latency accounting.  Returns total
+        simulated ns (attempts plus backoffs); raises
+        :class:`~repro.common.errors.RetryExhausted` when the retry
+        budget runs out.
+        """
+        start = self.fabric.clock.now
+        try:
+            retrier.call(lambda: self.post(wrs))
+        finally:
+            retries = retrier.last_outcome.attempts - 1
+            if retries > 0:
+                self.counters.add("reposted_batches", retries)
         return self.fabric.clock.now - start
 
     def _validate(self, wr: WorkRequest) -> None:

@@ -1,0 +1,129 @@
+"""Tests for the seeded retry/backoff executor."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError, NetworkError, RetryExhausted
+from repro.common.retry import Retrier, RetryPolicy
+
+
+def _flaky_fn(failures: int):
+    """A callable that raises NetworkError ``failures`` times, then works."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise NetworkError("transient")
+        return "ok"
+
+    return fn
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff_ns=1000, multiplier=2.0,
+                             max_backoff_ns=1e9, jitter=0.0)
+        rng = np.random.default_rng(0)
+        waits = [policy.backoff_ns(k, rng) for k in range(4)]
+        assert waits == [1000, 2000, 4000, 8000]
+
+    def test_backoff_caps(self):
+        policy = RetryPolicy(base_backoff_ns=1000, multiplier=10.0,
+                             max_backoff_ns=5000, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.backoff_ns(3, rng) == 5000
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_backoff_ns=1000, jitter=0.2)
+        rng = np.random.default_rng(7)
+        for k in range(8):
+            wait = policy.backoff_ns(k % 3, rng)
+            base = min(1000 * policy.multiplier ** (k % 3),
+                       policy.max_backoff_ns)
+            assert 0.8 * base <= wait <= 1.2 * base
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_backoff_ns": -1},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetrier:
+    def test_success_first_try_charges_nothing(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(), seed=1, clock=clock)
+        assert retrier.call(lambda: 42) == 42
+        assert clock.now == 0.0
+        assert retrier.last_outcome.attempts == 1
+        assert retrier.last_outcome.backoff_ns == 0.0
+
+    def test_recovers_after_transient_failures(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(max_attempts=4), seed=1, clock=clock)
+        assert retrier.call(_flaky_fn(2)) == "ok"
+        assert retrier.last_outcome.attempts == 3
+        assert retrier.counters["retries"] == 2
+        assert retrier.counters["recovered_calls"] == 1
+
+    def test_backoff_charged_to_simulated_clock(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(max_attempts=4), seed=1, clock=clock)
+        retrier.call(_flaky_fn(2))
+        # Clock advanced by exactly the reported backoff, nothing else.
+        assert clock.now == pytest.approx(retrier.last_outcome.backoff_ns)
+        assert clock.now > 0.0
+
+    def test_exhaustion_raises_and_counts(self):
+        retrier = Retrier(RetryPolicy(max_attempts=3), seed=1,
+                          clock=SimClock())
+        with pytest.raises(RetryExhausted):
+            retrier.call(_flaky_fn(99))
+        assert retrier.counters["exhausted"] == 1
+        assert retrier.counters["failed_attempts"] == 3
+        assert retrier.last_outcome.attempts == 3
+
+    def test_exhausted_is_a_network_error(self):
+        # Callers that catch NetworkError must also see RetryExhausted.
+        assert issubclass(RetryExhausted, NetworkError)
+
+    def test_non_network_errors_propagate(self):
+        retrier = Retrier(RetryPolicy(), seed=1, clock=SimClock())
+
+        def broken():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retrier.call(broken)
+        assert retrier.counters["retries"] == 0
+
+
+class TestDeterminism:
+    """Acceptance: same seed -> identical backoff and clock charge."""
+
+    @staticmethod
+    def _run(seed: int):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(max_attempts=5), seed=seed,
+                          clock=clock)
+        charges = []
+        for failures in (1, 3, 2, 0, 4):
+            before = clock.now
+            retrier.call(_flaky_fn(failures))
+            charges.append(clock.now - before)
+        return charges, clock.now
+
+    def test_same_seed_identical_runs(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seeds_differ(self):
+        charges_a, _ = self._run(11)
+        charges_b, _ = self._run(12)
+        assert charges_a != charges_b

@@ -98,12 +98,29 @@ class TestEvictionHandler:
         double.flush_all()
         assert double.stats.wire_bytes == 2 * single.stats.wire_bytes
 
-    def test_dead_node_raises(self):
+    def test_dead_node_parks_instead_of_raising(self):
+        # Durable eviction (section 4.5): a flush to a dead node must
+        # requeue the records, not drop them on the floor.
         handler, controller = make_handler()
         handler.evict_page(0, 0b1)
         controller.node("m0").fail()
-        with pytest.raises(NetworkError):
-            handler.flush_all()
+        handler.flush_all()
+        assert handler.pending_records == 0
+        assert handler.parked_records == 1
+        assert handler.counters["lines_requeued"] == 1
+        assert handler.counters["records_delivered"] == 0
+
+    def test_parked_records_drain_on_recovery(self):
+        handler, controller = make_handler()
+        handler.evict_page(0, 0b11)
+        controller.node("m0").fail()
+        handler.flush_all()
+        assert handler.parked_records == 2
+        controller.node("m0").recover()
+        handler.drain_recovered()
+        assert handler.parked_records == 0
+        assert handler.counters["lines_redelivered"] == 2
+        assert handler.counters["records_delivered"] == 2
 
     def test_breakdown_buckets_present(self):
         handler, _ = make_handler()

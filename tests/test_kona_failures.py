@@ -1,0 +1,103 @@
+"""Tests for the fetch-side failure policy (paper section 4.5)."""
+
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import NodeFailure
+from repro.kona import KonaConfig, KonaRuntime
+from repro.kona.failures import (
+    FailureManager,
+    FallbackMode,
+    MachineCheckException,
+)
+from repro.mem.pagetable import PageTable
+
+
+@pytest.fixture
+def rack():
+    """A wired runtime with one mapped region (translation is bound)."""
+    config = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                        slab_bytes=16 * u.MB)
+    rt = KonaRuntime(config, num_memory_nodes=2, app_ns_per_access=50.0)
+    region = rt.mmap(8 * u.MB)
+    return rt, region
+
+
+def _kill_all(rt):
+    for name in rt.controller.nodes:
+        rt.controller.node(name).fail()
+
+
+class TestClassifyDelay:
+    def test_below_timeout_absorbed(self, rack):
+        rt, _ = rack
+        fm = rt.failures
+        assert not fm.classify_delay(fm.coherence_timeout_ns * 0.5)
+        assert fm.counters["timeouts_detected"] == 0
+
+    def test_exactly_at_timeout_absorbed(self, rack):
+        rt, _ = rack
+        fm = rt.failures
+        assert not fm.classify_delay(fm.coherence_timeout_ns)
+
+    def test_above_timeout_trips(self, rack):
+        rt, _ = rack
+        fm = rt.failures
+        assert fm.classify_delay(fm.coherence_timeout_ns * 2)
+        assert fm.classify_delay(fm.coherence_timeout_ns * 3)
+        assert fm.counters["timeouts_detected"] == 2
+
+
+class TestMceHandler:
+    def test_mce_raised_when_all_replicas_down(self, rack):
+        rt, region = rack
+        fm = FailureManager(rt.translation, rt.controller,
+                            mode=FallbackMode.MCE_HANDLER)
+        _kill_all(rt)
+        with pytest.raises(MachineCheckException):
+            fm.resolve_for_fetch(region.start)
+        assert fm.counters["mce_raised"] == 1
+        # MCE mode never degrades pages: the handler retries in place.
+        assert fm.degraded_pages == []
+
+    def test_healthy_fetch_uses_primary(self, rack):
+        rt, region = rack
+        fm = FailureManager(rt.translation, rt.controller,
+                            mode=FallbackMode.MCE_HANDLER)
+        outcome = fm.resolve_for_fetch(region.start)
+        assert not outcome.used_replica
+        assert outcome.retries == 0
+
+
+class TestPageFaultFallback:
+    def test_degradation_records_original_pfn(self, rack):
+        rt, region = rack
+        table = PageTable()
+        vpn = table.vpn_of(region.start)
+        table.map(vpn, pfn=1234)
+        fm = FailureManager(rt.translation, rt.controller,
+                            mode=FallbackMode.PAGE_FAULT_FALLBACK,
+                            page_table=table)
+        _kill_all(rt)
+        with pytest.raises(NodeFailure):
+            fm.resolve_for_fetch(region.start)
+        assert fm.degraded_pages == [(vpn, 1234)]
+        assert not table.entry(vpn).present
+
+    def test_recover_restores_original_pfn(self, rack):
+        rt, region = rack
+        table = PageTable()
+        vpn = table.vpn_of(region.start)
+        table.map(vpn, pfn=1234)
+        fm = FailureManager(rt.translation, rt.controller,
+                            mode=FallbackMode.PAGE_FAULT_FALLBACK,
+                            page_table=table)
+        _kill_all(rt)
+        with pytest.raises(NodeFailure):
+            fm.resolve_for_fetch(region.start)
+        assert fm.recover_degraded() == 1
+        entry = table.entry(vpn)
+        assert entry.present
+        # The page must come back on the frame it had, not a made-up one.
+        assert entry.pfn == 1234
+        assert fm.degraded_pages == []

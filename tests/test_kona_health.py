@@ -1,0 +1,77 @@
+"""Tests for the runtime health state machine."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import SimulationError
+from repro.kona.health import HealthMonitor, HealthState
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def monitor(clock):
+    return HealthMonitor(clock)
+
+
+class TestTransitions:
+    def test_starts_healthy(self, monitor):
+        assert monitor.state is HealthState.HEALTHY
+        assert monitor.healthy
+
+    def test_full_cycle_records_incident(self, monitor, clock):
+        clock.advance(100)
+        monitor.degrade("node down")
+        clock.advance(500)
+        monitor.start_recovery()
+        clock.advance(200)
+        monitor.recovered()
+        assert monitor.healthy
+        assert len(monitor.incidents) == 1
+        incident = monitor.incidents[0]
+        assert incident.reason == "node down"
+        assert incident.mttr_ns == 700
+        assert monitor.mttr_ns == 700
+
+    def test_degrade_is_idempotent(self, monitor):
+        monitor.degrade("first")
+        monitor.degrade("second")
+        assert monitor.counters["degradations"] == 1
+        assert monitor.counters["repeat_faults"] == 1
+
+    def test_relapse_while_recovering(self, monitor):
+        monitor.degrade("fault")
+        monitor.start_recovery()
+        monitor.degrade("second fault mid-drain")
+        assert monitor.state is HealthState.DEGRADED
+
+    def test_illegal_transition_rejected(self, monitor):
+        with pytest.raises(SimulationError):
+            monitor.recovered()          # HEALTHY -> HEALTHY is illegal
+        monitor.degrade("fault")
+        with pytest.raises(SimulationError):
+            monitor.recovered()          # must pass through RECOVERING
+
+
+class TestTimeAccounting:
+    def test_time_in_state_uses_simulated_clock(self, monitor, clock):
+        clock.advance(100)
+        monitor.degrade("fault")
+        clock.advance(300)
+        monitor.start_recovery()
+        clock.advance(50)
+        monitor.recovered()
+        assert monitor.time_in_ns(HealthState.DEGRADED) == 300
+        assert monitor.time_in_ns(HealthState.RECOVERING) == 50
+        assert monitor.time_in_degraded_ns == 350
+
+    def test_open_state_accrues(self, monitor, clock):
+        monitor.degrade("fault")
+        clock.advance(40)
+        assert monitor.time_in_ns(HealthState.DEGRADED) == 40
+
+    def test_mttr_zero_without_incidents(self, monitor):
+        assert monitor.mttr_ns == 0.0

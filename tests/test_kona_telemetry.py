@@ -10,7 +10,14 @@ class TestTelemetry:
     def test_sections_present(self, runtime):
         snap = snapshot(runtime)
         assert set(snap.data) == {"memory", "fetch", "tracking",
-                                  "eviction", "faults", "network"}
+                                  "eviction", "faults", "health", "network"}
+
+    def test_health_section_starts_clean(self, runtime):
+        health = snapshot(runtime).data["health"]
+        assert health["state"] == "HEALTHY"
+        assert health["degradations"] == 0
+        assert health["parked_records"] == 0
+        assert health["mttr_ns"] == 0.0
 
     def test_reflects_activity(self, runtime):
         region = runtime.mmap(1 * u.MB)

@@ -14,7 +14,7 @@ import repro
 SUBSTRATES = {"mem", "cache", "coherence", "net", "vm", "cluster",
               "fpga", "common"}
 UPPER_LAYERS = {"kona", "baselines", "tools", "experiments", "apps",
-                "workloads", "analysis", "cli"}
+                "workloads", "analysis", "cli", "chaos"}
 
 SRC = pathlib.Path(repro.__file__).parent
 

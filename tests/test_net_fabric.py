@@ -4,7 +4,7 @@ import pytest
 
 import repro.common.units as u
 from repro.common.errors import ConfigError, NetworkError
-from repro.net.fabric import Fabric
+from repro.net.fabric import Fabric, FaultSchedule
 
 
 @pytest.fixture
@@ -77,3 +77,122 @@ class TestFailureInjection:
     def test_negative_delay_rejected(self, fabric):
         with pytest.raises(ConfigError):
             fabric.delay_link("compute", "mem0", -5)
+
+    def test_clear_delay_restores_baseline(self, fabric):
+        base = fabric.transfer_cost_ns("compute", "mem0", 64)
+        fabric.delay_link("compute", "mem0", 50_000)
+        fabric.clear_delay("compute", "mem0")
+        assert fabric.transfer_cost_ns("compute", "mem0", 64) == base
+
+    def test_zero_delay_retracts_injection(self, fabric):
+        base = fabric.transfer_cost_ns("compute", "mem0", 64)
+        fabric.delay_link("compute", "mem0", 50_000)
+        fabric.delay_link("compute", "mem0", 0)
+        assert fabric.transfer_cost_ns("compute", "mem0", 64) == base
+
+
+class TestFlakyLinks:
+    def test_drops_are_seeded_and_charged(self, fabric):
+        fabric.set_flaky("compute", "mem0", 0.5, seed=3)
+        drops = 0
+        before = fabric.clock.now
+        for _ in range(64):
+            try:
+                fabric.transfer("compute", "mem0", 64)
+            except NetworkError:
+                drops += 1
+        # The wire was occupied for every attempt, dropped or not.
+        assert fabric.clock.now > before
+        assert 0 < drops < 64
+        assert fabric.counters["dropped_transfers"] == drops
+
+    def test_same_seed_same_drop_pattern(self):
+        def pattern(seed):
+            f = Fabric()
+            f.add_node("a")
+            f.add_node("b")
+            f.set_flaky("a", "b", 0.5, seed=seed)
+            return [f.drops_transfer("a", "b") for _ in range(32)]
+
+        assert pattern(9) == pattern(9)
+        assert pattern(9) != pattern(10)
+
+    def test_clear_flaky(self, fabric):
+        fabric.set_flaky("compute", "mem0", 1.0, seed=0)
+        fabric.clear_flaky("compute", "mem0")
+        fabric.transfer("compute", "mem0", 64)   # should not raise
+
+    def test_bad_drop_rate_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.set_flaky("compute", "mem0", 1.5)
+
+
+class TestPartition:
+    def test_partition_blocks_both_directions(self, fabric):
+        fabric.partition(["compute"], ["mem0"])
+        assert fabric.is_partitioned("compute", "mem0")
+        assert not fabric.reachable("compute", "mem0")
+        with pytest.raises(NetworkError):
+            fabric.transfer("compute", "mem0", 64)
+        with pytest.raises(NetworkError):
+            fabric.transfer("mem0", "compute", 64)
+        assert fabric.counters["partitioned_transfers"] == 2
+
+    def test_heal_partition(self, fabric):
+        fabric.partition(["compute"], ["mem0"])
+        fabric.heal_partition()
+        assert fabric.reachable("compute", "mem0")
+        fabric.transfer("compute", "mem0", 64)   # should not raise
+
+    def test_overlapping_groups_rejected(self, fabric):
+        with pytest.raises(ConfigError):
+            fabric.partition(["compute", "mem0"], ["mem0"])
+
+
+class TestNodeJitter:
+    def test_jitter_slows_transfers(self, fabric):
+        clean = fabric.transfer("compute", "mem0", 4096).latency_ns
+        fabric.set_node_jitter("mem0", 10_000.0, seed=4)
+        slow = fabric.transfer("compute", "mem0", 4096).latency_ns
+        assert slow > clean
+
+    def test_clear_jitter(self, fabric):
+        clean = fabric.transfer("compute", "mem0", 4096).latency_ns
+        fabric.set_node_jitter("mem0", 10_000.0, seed=4)
+        fabric.clear_node_jitter("mem0")
+        assert fabric.transfer("compute", "mem0", 4096).latency_ns == clean
+
+
+class TestFaultSchedule:
+    def test_fires_in_timestamp_order(self):
+        schedule = FaultSchedule()
+        fired = []
+        schedule.at(300, "late", lambda: fired.append("late"))
+        schedule.at(100, "early", lambda: fired.append("early"))
+        schedule.at(200, "mid", lambda: fired.append("mid"))
+        labels = schedule.fire_due(250)
+        assert labels == ["early", "mid"]
+        assert fired == ["early", "mid"]
+        assert schedule.pending == 1
+        assert schedule.next_at() == 300
+
+    def test_each_event_fires_once(self):
+        schedule = FaultSchedule()
+        hits = []
+        schedule.at(50, "once", lambda: hits.append(1))
+        schedule.fire_due(100)
+        schedule.fire_due(200)
+        assert hits == [1]
+        assert schedule.fired == [(50, "once")]
+
+    def test_ties_fire_in_registration_order(self):
+        schedule = FaultSchedule()
+        fired = []
+        schedule.at(100, "first", lambda: fired.append("first"))
+        schedule.at(100, "second", lambda: fired.append("second"))
+        schedule.fire_due(100)
+        assert fired == ["first", "second"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().at(-1, "bad", lambda: None)
