@@ -12,6 +12,7 @@ from .amat import (
 )
 from .hierarchy import (
     DEFAULT_CPU_LEVELS,
+    ENGINES,
     CacheHierarchy,
     HierarchyResult,
     LevelSpec,
@@ -19,12 +20,14 @@ from .hierarchy import (
 )
 from .replacement import FIFOPolicy, LRUPolicy, RandomPolicy, make_policy
 from .setassoc import CacheStats, Eviction, SetAssociativeCache
+from .vectorized import VectorizedCache
 
 __all__ = [
     "ALL_SYSTEMS",
     "CacheHierarchy",
     "CacheStats",
     "DEFAULT_CPU_LEVELS",
+    "ENGINES",
     "Eviction",
     "FIFOPolicy",
     "HierarchyResult",
@@ -33,6 +36,7 @@ __all__ = [
     "RandomPolicy",
     "SetAssociativeCache",
     "SystemLatencies",
+    "VectorizedCache",
     "dram_cache_spec",
     "infiniswap_latencies",
     "kona_latencies",

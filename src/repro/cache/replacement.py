@@ -43,8 +43,9 @@ class LRUPolicy:
 
     def touch(self, tag: int) -> None:
         order = self._order
-        order.remove(tag)
-        order.append(tag)
+        if order[-1] != tag:        # already most-recent: nothing to move
+            order.remove(tag)
+            order.append(tag)
 
     def insert(self, tag: int) -> None:
         self._order.append(tag)

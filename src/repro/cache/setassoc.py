@@ -96,10 +96,13 @@ class SetAssociativeCache:
         set_idx, tag = self._locate(addr)
         lines = self._lines[set_idx]
         policy = self._policies[set_idx]
-        if tag in lines:
+        # One dict lookup resolves residency and dirtiness together;
+        # only a clean->dirty transition writes back into the dict.
+        dirty = lines.get(tag)
+        if dirty is not None:
             self.stats.hits += 1
             policy.touch(tag)
-            if is_write:
+            if is_write and not dirty:
                 lines[tag] = True
             return True, None
 

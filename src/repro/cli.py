@@ -9,6 +9,8 @@ Usage::
     python -m repro fig11a | fig11b | fig11c
     python -m repro sections
     python -m repro chaos [--seed 0] [--ops 30000]
+    python -m repro sweep [--processes N] [--ops 40000]
+    python -m repro bench [--quick] [--min-speedup 1.0] [--output FILE]
     python -m repro all
 
 Each command prints the regenerated rows/series next to the paper's
@@ -39,7 +41,9 @@ from .experiments import (
     run_sec63_tracker_overhead,
     run_table2,
 )
+from .experiments.bench import check_speedup, run_bench, write_bench
 from .experiments.fig8 import SYSTEMS, best_block
+from .experiments.sweep import run_sweep, sweep_grid
 
 
 def cmd_table2(args: argparse.Namespace) -> None:
@@ -184,6 +188,44 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_sweep(args: argparse.Namespace) -> None:
+    """Parallel AMAT sweep over every workload and cache size."""
+    fractions = (0.125, 0.25, 0.375, 0.5, 0.75, 1.0)
+    workloads = ("redis-rand", "linear-regression", "graph-coloring")
+    points = sweep_grid(workloads, fractions, num_ops=args.ops)
+    result = run_sweep(points, processes=args.processes)
+    systems = ("kona", "legoos", "infiniswap")
+    for workload in sorted({p.workload for p in result.points}):
+        rows = [(int(p.cache_fraction * 100),
+                 *(round(a[s], 1) for s in systems))
+                for p, a in zip(result.points, result.amat_ns)
+                if p.workload == workload]
+        print(render_table(["cache %", *systems], rows,
+                           title=f"Sweep — {workload} (AMAT ns)"))
+        print()
+
+
+def cmd_bench(args: argparse.Namespace) -> None:
+    """Benchmark the scalar vs vectorized trace engines."""
+    payload = run_bench(quick=args.quick)
+    for case in payload["cases"]:
+        print(f"{case['workload']:>18s}  {case['num_accesses']:>9,} accesses  "
+              f"scalar {case['scalar']['seconds']:.3f}s  "
+              f"vectorized {case['vectorized']['seconds']:.3f}s  "
+              f"speedup {case['speedup']:.1f}x  "
+              f"counters {'ok' if case['counters_match'] else 'MISMATCH'}")
+    path = write_bench(payload, args.output)
+    print(f"\ncanonical speedup: {payload['canonical_speedup']:.1f}x "
+          f"({payload['canonical_workload']}); report: {path}")
+    if args.min_speedup is not None:
+        failures = check_speedup(payload, args.min_speedup)
+        if failures:
+            for msg in failures:
+                print(f"FAIL: {msg}")
+            raise SystemExit(1)
+        print(f"speedup gate passed (>= {args.min_speedup}x)")
+
+
 def cmd_summary(args: argparse.Namespace) -> None:
     """Headline claims: the abstract's numbers, measured."""
     result = run_headline(num_ops=args.ops)
@@ -206,6 +248,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig11c": cmd_fig11c,
     "sections": cmd_sections,
     "chaos": cmd_chaos,
+    "sweep": cmd_sweep,
+    "bench": cmd_bench,
 }
 
 
@@ -240,6 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="data operations for AMAT simulations")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed for the chaos command")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker processes for the sweep command "
+                             "(default: cpu count)")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench: small trace, fewer repeats")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="bench: fail unless the canonical case "
+                             "reaches this speedup")
+    parser.add_argument("--output", default="BENCH_kcachesim.json",
+                        help="bench: report output path")
     return parser
 
 

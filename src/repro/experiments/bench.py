@@ -1,0 +1,181 @@
+"""Engine benchmark: scalar oracle vs vectorized kernel.
+
+``repro bench`` times both trace-simulation engines on the same
+generated traces, verifies they produce identical counters, and writes
+a machine-readable report (``BENCH_kcachesim.json``) for regression
+tracking.  Methodology:
+
+* every engine runs the identical (addrs, writes) trace on a freshly
+  built hierarchy; best-of-N wall time is reported (N differs per
+  engine: the scalar oracle is ~10X slower, so it gets fewer runs);
+* the engines' runs are interleaved, not batched, so slow machine
+  phases (CPU contention on shared runners) hit both engines rather
+  than skewing the reported ratio;
+* before timing is trusted, the two engines' per-level hit/miss/
+  eviction/writeback counters and remote fetch/writeback counters are
+  compared — a benchmark that drifts from the oracle fails loudly;
+* the canonical case is ``uniform-stress``: 1M single-line accesses
+  uniform over a 64 MB region with a 32 MB DRAM cache, where nearly
+  every access traverses all four levels and engine cost dominates.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy, DEFAULT_CPU_LEVELS, dram_cache_spec
+from ..common.errors import SimulationError
+from ..tools.kcachesim import _round_capacity
+from ..workloads.amat import AMAT_SPECS, generate_exact_accesses
+
+#: Default report filename.
+BENCH_FILENAME = "BENCH_kcachesim.json"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark configuration."""
+
+    workload: str
+    num_accesses: int
+    cache_fraction: float = 0.5
+    block_size: int = 4096
+    ways: int = 4
+    seed: int = 1234
+
+
+#: The acceptance case: miss-heavy, all four levels exercised.
+CANONICAL_CASE = BenchCase("uniform-stress", 1_000_000, 0.5)
+
+#: Secondary coverage: spatial locality and skewed reuse.
+EXTRA_CASES = (
+    BenchCase("redis-rand", 300_000, 0.25),
+    BenchCase("graph-coloring", 300_000, 0.25),
+)
+
+QUICK_CASES = (BenchCase("uniform-stress", 150_000, 0.5),)
+
+
+def _build_hierarchy(case: BenchCase, data_bytes: int,
+                     engine: str) -> CacheHierarchy:
+    capacity = int(data_bytes * case.cache_fraction)
+    dram = None
+    if capacity >= case.block_size * case.ways:
+        dram = dram_cache_spec(
+            _round_capacity(capacity, case.block_size, case.ways),
+            case.block_size, case.ways)
+    return CacheHierarchy(DEFAULT_CPU_LEVELS, dram_cache=dram, engine=engine)
+
+
+def _level_counters(h: CacheHierarchy) -> Dict[str, Dict[str, int]]:
+    levels = list(h.levels) + ([h.dram_cache] if h.dram_cache else [])
+    return {lvl.name: {"hits": lvl.stats.hits,
+                       "misses": lvl.stats.misses,
+                       "evictions": lvl.stats.evictions,
+                       "dirty_writebacks": lvl.stats.dirty_writebacks}
+            for lvl in levels}
+
+
+def run_case(case: BenchCase, scalar_runs: int = 2,
+             vectorized_runs: int = 3) -> Dict[str, object]:
+    """Time both engines on one case and verify counter equality."""
+    spec = AMAT_SPECS[case.workload]()
+    addrs, writes = generate_exact_accesses(spec, case.num_accesses, case.seed)
+    runs = {"scalar": max(scalar_runs, 1),
+            "vectorized": max(vectorized_runs, 1)}
+    timings: Dict[str, float] = {e: float("inf") for e in runs}
+    finals: Dict[str, CacheHierarchy] = {}
+    results = {}
+    # Interleave the engines' runs so machine-load phases affect both
+    # timings rather than biasing their ratio.
+    schedule = [engine
+                for i in range(max(runs.values()))
+                for engine in ("scalar", "vectorized") if i < runs[engine]]
+    for engine in schedule:
+        h = _build_hierarchy(case, spec.data_bytes, engine)
+        t0 = time.perf_counter()
+        result = h.simulate(addrs, writes)
+        timings[engine] = min(timings[engine], time.perf_counter() - t0)
+        finals[engine] = h
+        results[engine] = result
+
+    if results["scalar"] != results["vectorized"]:
+        raise SimulationError(
+            f"engine mismatch on {case.workload}: "
+            f"{results['scalar']} != {results['vectorized']}")
+    scalar_counters = _level_counters(finals["scalar"])
+    if scalar_counters != _level_counters(finals["vectorized"]):
+        raise SimulationError(
+            f"per-level counter mismatch on {case.workload}")
+
+    n = case.num_accesses
+    return {
+        "workload": case.workload,
+        "num_accesses": n,
+        "cache_fraction": case.cache_fraction,
+        "block_size": case.block_size,
+        "seed": case.seed,
+        "scalar": {"seconds": timings["scalar"], "runs": scalar_runs,
+                   "maccesses_per_s": n / timings["scalar"] / 1e6},
+        "vectorized": {"seconds": timings["vectorized"],
+                       "runs": vectorized_runs,
+                       "maccesses_per_s": n / timings["vectorized"] / 1e6},
+        "speedup": timings["scalar"] / timings["vectorized"],
+        "counters_match": True,
+        "remote_fetches": results["scalar"].remote_fetches,
+        "level_counters": scalar_counters,
+    }
+
+
+def run_bench(quick: bool = False,
+              cases: Optional[Sequence[BenchCase]] = None) -> Dict[str, object]:
+    """Run the benchmark suite; returns the report payload."""
+    if cases is None:
+        cases = QUICK_CASES if quick else (CANONICAL_CASE, *EXTRA_CASES)
+    scalar_runs = 1 if quick else 2
+    vectorized_runs = 2 if quick else 4
+    case_results = [run_case(c, scalar_runs, vectorized_runs) for c in cases]
+    canonical = next(
+        (c for c in case_results if c["workload"] == "uniform-stress"),
+        case_results[0])
+    return {
+        "benchmark": "kcachesim-engine-bench",
+        "version": 1,
+        "quick": quick,
+        "methodology": ("best-of-N wall time per engine on identical "
+                        "traces; per-level counters verified equal"),
+        "host": {"python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine()},
+        "created_unix": int(time.time()),
+        "cases": case_results,
+        "canonical_workload": canonical["workload"],
+        "canonical_speedup": canonical["speedup"],
+    }
+
+
+def write_bench(payload: Dict[str, object], path: str = BENCH_FILENAME) -> str:
+    """Write the report JSON; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def check_speedup(payload: Dict[str, object], min_speedup: float) -> List[str]:
+    """Regression gate: canonical speedup must reach ``min_speedup``.
+
+    Returns a list of failure messages (empty when the gate passes).
+    """
+    failures = []
+    got = payload["canonical_speedup"]
+    if got < min_speedup:
+        failures.append(
+            f"canonical speedup {got:.2f}x below required {min_speedup}x")
+    return failures

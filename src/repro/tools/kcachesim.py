@@ -100,12 +100,19 @@ class KCacheSimResult:
 
 
 class KCacheSim:
-    """Sweepable AMAT simulator for one workload spec."""
+    """Sweepable AMAT simulator for one workload spec.
+
+    ``engine`` selects the trace-simulation kernel: the default
+    ``"vectorized"`` bulk engine, or ``"scalar"`` for the reference
+    oracle (required for the ``random`` replacement policy).
+    """
 
     def __init__(self, spec: AmatSpec,
-                 latency: LatencyModel = DEFAULT_LATENCY) -> None:
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 engine: str = "vectorized") -> None:
         self.spec = spec
         self.latency = latency
+        self.engine = engine
 
     def run(self, cache_fraction: float, *, block_size: int = units.PAGE_4K,
             ways: int = 4, num_ops: int = 60_000, seed: int = 0,
@@ -131,7 +138,8 @@ class KCacheSim:
         if capacity >= block_size * ways:
             dram = dram_cache_spec(_round_capacity(capacity, block_size, ways),
                                    block_size, ways)
-        hierarchy = CacheHierarchy(DEFAULT_CPU_LEVELS, dram_cache=dram)
+        hierarchy = CacheHierarchy(DEFAULT_CPU_LEVELS, dram_cache=dram,
+                                   engine=self.engine)
         addrs, writes = generate_data_accesses(self.spec, num_ops, seed)
         result = hierarchy.simulate(addrs, writes)
         tlb_miss_ratio = 0.0
@@ -145,11 +153,14 @@ class KCacheSim:
     def _simulate_tlb(addrs, page_size: int) -> float:
         tlb = TLB(entries=1536, ways=12, page_size=page_size)
         misses = 0
-        for addr in addrs.tolist():
-            vpn = addr // page_size
-            if not tlb.lookup(vpn):
-                misses += 1
-                tlb.insert(vpn)
+        # Chunked conversion: plain-int iteration without materializing
+        # a whole-trace list.
+        for lo in range(0, addrs.size, 1 << 16):
+            for addr in addrs[lo:lo + (1 << 16)].tolist():
+                vpn = addr // page_size
+                if not tlb.lookup(vpn):
+                    misses += 1
+                    tlb.insert(vpn)
         return misses / max(len(addrs), 1)
 
     def run_trace(self, addrs, writes, cache_fraction: float, *,
@@ -170,7 +181,8 @@ class KCacheSim:
             dram = dram_cache_spec(
                 _round_capacity(capacity, block_size, ways),
                 block_size, ways)
-        hierarchy = CacheHierarchy(DEFAULT_CPU_LEVELS, dram_cache=dram)
+        hierarchy = CacheHierarchy(DEFAULT_CPU_LEVELS, dram_cache=dram,
+                                   engine=self.engine)
         result = hierarchy.simulate(addrs, writes)
         return KCacheSimResult(self.spec, cache_fraction, block_size,
                                result, self.latency)

@@ -8,9 +8,11 @@ from .amat import (
     DATA_BASE,
     HotProfile,
     generate_data_accesses,
+    generate_exact_accesses,
     graph_coloring_spec,
     linear_regression_spec,
     redis_rand_spec,
+    uniform_stress_spec,
 )
 from .base import ReadProfile, WorkloadModel, WriteProfile
 from .graphlab import (
@@ -64,6 +66,7 @@ __all__ = [
     "connected_components",
     "dirty_lines_pattern",
     "generate_data_accesses",
+    "generate_exact_accesses",
     "graph_coloring",
     "graph_coloring_spec",
     "footprint_summary",
@@ -81,5 +84,6 @@ __all__ = [
     "redis_rand_spec",
     "redis_seq",
     "save_trace",
+    "uniform_stress_spec",
     "voltdb_tpcc",
 ]

@@ -111,6 +111,23 @@ def generate_data_accesses(spec: AmatSpec, num_ops: int,
     return addrs, writes
 
 
+def generate_exact_accesses(spec: AmatSpec, num_accesses: int,
+                            seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a trace with exactly ``num_accesses`` accesses.
+
+    :func:`generate_data_accesses` counts *operations*, each spanning
+    ``op_span_lines`` accesses; benchmarks and sweeps that fix the
+    trace length (e.g. "a 1M-access trace") use this wrapper, which
+    rounds the operation count up and truncates the tail.
+    """
+    if num_accesses < 1:
+        raise ConfigError("num_accesses must be >= 1")
+    span = spec.op_span_lines
+    num_ops = -(-num_accesses // span)
+    addrs, writes = generate_data_accesses(spec, num_ops, seed)
+    return addrs[:num_accesses], writes[:num_accesses]
+
+
 # -- the paper's three Figure 8 applications ---------------------------------
 
 def redis_rand_spec(data_bytes: int = 32 * units.MB) -> AmatSpec:
@@ -138,8 +155,21 @@ def graph_coloring_spec(data_bytes: int = 32 * units.MB) -> AmatSpec:
                     zipf_s=1.2, hot_per_data_access=300.0)
 
 
+def uniform_stress_spec(data_bytes: int = 64 * units.MB) -> AmatSpec:
+    """Uniform single-line accesses over a large region.
+
+    The canonical engine benchmark: nearly every access misses the
+    on-chip levels, so the whole stream reaches the DRAM cache and the
+    trace engine — not locality — dominates simulation cost.
+    """
+    return AmatSpec(name="uniform-stress", data_bytes=data_bytes,
+                    op_span_lines=1, reuse="uniform", write_fraction=0.4,
+                    hot_per_data_access=300.0)
+
+
 AMAT_SPECS = {
     "redis-rand": redis_rand_spec,
     "linear-regression": linear_regression_spec,
     "graph-coloring": graph_coloring_spec,
+    "uniform-stress": uniform_stress_spec,
 }

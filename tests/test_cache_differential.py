@@ -1,0 +1,158 @@
+"""Differential tests: the vectorized engine vs the scalar oracle.
+
+The vectorized kernel's contract is bit-identical behavior with the
+scalar :class:`SetAssociativeCache` for LRU and FIFO: same per-level
+hits, misses, evictions, dirty writebacks and the same miss stream on
+any trace.  These tests drive both engines with identical traces over
+a grid of geometries (associativity, block size, policy) and through
+the full hierarchy (remote fetch/writeback accounting included), plus
+a hypothesis-driven random search for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.common.units as u
+from repro.cache.hierarchy import CacheHierarchy, LevelSpec, dram_cache_spec
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.vectorized import VectorizedCache
+
+
+def level_counters(cache):
+    s = cache.stats
+    return (s.hits, s.misses, s.evictions, s.dirty_writebacks)
+
+
+def drive_pair(capacity, block, ways, policy, addrs, writes, splits=1):
+    """Run the same trace through both engines; assert identical state."""
+    scalar = SetAssociativeCache("s", capacity, block, ways, policy)
+    vector = VectorizedCache("v", capacity, block, ways, policy)
+    n = len(addrs)
+    cuts = np.linspace(0, n, splits + 1).astype(int)
+    for i in range(splits):
+        chunk_a = addrs[cuts[i]:cuts[i + 1]]
+        chunk_w = writes[cuts[i]:cuts[i + 1]]
+        scalar_miss = [not scalar.access(a, w)[0]
+                       for a, w in zip(chunk_a.tolist(), chunk_w.tolist())]
+        vector_miss = vector.simulate_batch(chunk_a, chunk_w)
+        assert scalar_miss == list(vector_miss)
+    assert level_counters(scalar) == level_counters(vector)
+    assert scalar.occupancy == vector.occupancy
+    assert scalar.resident_blocks() == vector.resident_blocks()
+    for blk in scalar.resident_blocks():
+        assert scalar.is_dirty(blk) == vector.is_dirty(blk)
+
+
+GEOMETRIES = [
+    # (capacity, block, ways) — 8/16-way at cache-line and page blocks.
+    (32 * u.KB, 64, 8),
+    (64 * u.KB, 64, 16),
+    (256 * u.KB, u.PAGE_4K, 8),
+    (512 * u.KB, u.PAGE_4K, 16),
+    (2 * 64, 64, 2),          # single set: maximal rank depth
+]
+
+
+@pytest.mark.parametrize("capacity,block,ways", GEOMETRIES)
+@pytest.mark.parametrize("policy", ["lru", "fifo"])
+class TestSingleLevelGeometryGrid:
+    def test_uniform_trace(self, capacity, block, ways, policy):
+        rng = np.random.default_rng(11)
+        addrs = rng.integers(0, 4 * capacity, 6000, dtype=np.uint64)
+        writes = rng.random(6000) < 0.4
+        drive_pair(capacity, block, ways, policy, addrs, writes, splits=3)
+
+    def test_mixed_trace_with_runs(self, capacity, block, ways, policy):
+        """Sequential runs + hot reuse + cold uniform, interleaved."""
+        rng = np.random.default_rng(13)
+        seq = (np.arange(2000, dtype=np.uint64) * (block // 2))
+        hot = rng.integers(0, capacity // 4, 2000, dtype=np.uint64)
+        cold = rng.integers(0, 16 * capacity, 2000, dtype=np.uint64)
+        addrs = np.empty(6000, dtype=np.uint64)
+        addrs[0::3], addrs[1::3], addrs[2::3] = seq, hot, cold
+        writes = rng.random(6000) < 0.5
+        drive_pair(capacity, block, ways, policy, addrs, writes, splits=4)
+
+
+class TestHierarchyDifferential:
+    LEVELS = (
+        LevelSpec("L1", 4 * u.KB, 64, 8),
+        LevelSpec("L2", 32 * u.KB, 64, 16),
+        LevelSpec("L3", 128 * u.KB, 64, 16),
+    )
+
+    def build_pair(self, dram_capacity, policy="lru"):
+        levels = tuple(LevelSpec(s.name, s.capacity, s.block_size, s.ways,
+                                 policy) for s in self.LEVELS)
+        dram = (dram_cache_spec(dram_capacity, u.PAGE_4K, 4, policy)
+                if dram_capacity else None)
+        return (CacheHierarchy(levels, dram_cache=dram, engine="scalar"),
+                CacheHierarchy(levels, dram_cache=dram, engine="vectorized"))
+
+    def assert_identical(self, hs, hv):
+        assert hs.result() == hv.result()
+        scalar_levels = list(hs.levels) + (
+            [hs.dram_cache] if hs.dram_cache else [])
+        vector_levels = list(hv.levels) + (
+            [hv.dram_cache] if hv.dram_cache else [])
+        for ls, lv in zip(scalar_levels, vector_levels):
+            assert level_counters(ls) == level_counters(lv), ls.name
+        assert (hs.result().served_fractions()
+                == hv.result().served_fractions())
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_full_hierarchy_with_dram_cache(self, policy):
+        hs, hv = self.build_pair(512 * u.KB, policy)
+        rng = np.random.default_rng(17)
+        addrs = rng.integers(0, 2 * u.MB, 20_000, dtype=np.uint64)
+        writes = rng.random(20_000) < 0.4
+        for lo in range(0, 20_000, 5000):
+            rs = hs.simulate(addrs[lo:lo + 5000], writes[lo:lo + 5000])
+            rv = hv.simulate(addrs[lo:lo + 5000], writes[lo:lo + 5000])
+            assert rs == rv
+        self.assert_identical(hs, hv)
+
+    def test_no_dram_cache_remote_accounting(self):
+        hs, hv = self.build_pair(None)
+        rng = np.random.default_rng(19)
+        addrs = rng.integers(0, 2 * u.MB, 10_000, dtype=np.uint64)
+        writes = rng.random(10_000) < 0.3
+        assert hs.simulate(addrs, writes) == hv.simulate(addrs, writes)
+        self.assert_identical(hs, hv)
+        assert hv.remote_fetches > 0
+
+    def test_interleaved_access_and_simulate(self):
+        hs, hv = self.build_pair(512 * u.KB)
+        rng = np.random.default_rng(23)
+        addrs = rng.integers(0, 2 * u.MB, 9000, dtype=np.uint64)
+        writes = rng.random(9000) < 0.5
+        for lo in range(0, 9000, 3000):
+            assert (hs.simulate(addrs[lo:lo + 3000], writes[lo:lo + 3000])
+                    == hv.simulate(addrs[lo:lo + 3000], writes[lo:lo + 3000]))
+            for a, w in zip(addrs[:64].tolist(), writes[:64].tolist()):
+                assert hs.access(a, w) == hv.access(a, w)
+        self.assert_identical(hs, hv)
+
+
+class TestHypothesisSearch:
+    """Random-trace counterexample search over a tiny cache.
+
+    A small geometry maximizes evictions, rank depth and replacement
+    pressure per generated access, which is where a vectorization bug
+    would show up.
+    """
+
+    traces = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1023),
+                  st.booleans()),
+        min_size=1, max_size=200)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces, policy=st.sampled_from(["lru", "fifo"]))
+    def test_any_trace_matches_oracle(self, trace, policy):
+        addrs = np.array([a * 16 for a, _ in trace], dtype=np.uint64)
+        writes = np.array([w for _, w in trace], dtype=bool)
+        drive_pair(4 * 64, 64, 4, policy, addrs, writes,
+                   splits=min(3, len(trace)))

@@ -141,3 +141,70 @@ class TestLevelSpecValidation:
         h = small_hierarchy()
         with pytest.raises(ConfigError):
             h.stats_of("L9")
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy((LevelSpec("L1", 4 * u.KB, 64, 2),),
+                           engine="turbo")
+
+    def test_vectorized_rejects_random_policy(self):
+        levels = (LevelSpec("L1", 4 * u.KB, 64, 2, policy="random"),)
+        with pytest.raises(ConfigError):
+            CacheHierarchy(levels, engine="vectorized")
+        CacheHierarchy(levels, engine="scalar")  # oracle still supports it
+
+
+class TestRemoteCountConsistency:
+    """access() and simulate() must agree on remote accounting.
+
+    With no DRAM cache, a whole-hierarchy miss fetches from (remote)
+    memory; both paths count it as a remote fetch, so served fractions
+    sum to 1 either way.
+    """
+
+    def test_memory_misses_count_as_remote_fetches_in_access(self):
+        h = small_hierarchy()  # no DRAM cache
+        assert h.access(0, False) == "memory"
+        assert h.remote_fetches == 1
+        assert h.access(0, False) == "L1"
+        assert h.remote_fetches == 1
+
+    def test_access_and_simulate_agree_without_dram(self):
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 1 * u.MB, 3000, dtype=np.uint64)
+        writes = rng.random(3000) < 0.5
+        via_access = small_hierarchy()
+        for a, w in zip(addrs.tolist(), writes.tolist()):
+            via_access.access(a, w)
+        via_simulate = small_hierarchy()
+        via_simulate.simulate(addrs, writes)
+        assert via_access.result() == via_simulate.result()
+
+    def test_served_fractions_sum_to_one_without_dram(self):
+        h = small_hierarchy()
+        rng = np.random.default_rng(6)
+        addrs = rng.integers(0, 1 * u.MB, 2000, dtype=np.uint64)
+        h.simulate(addrs, np.zeros(2000, dtype=bool))
+        assert sum(h.result().served_fractions().values()) == pytest.approx(1.0)
+
+
+class TestAccessCounter:
+    def test_result_accumulates_across_calls(self):
+        h = small_hierarchy(dram_capacity=1 * u.MB)
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 2 * u.MB, 1000, dtype=np.uint64)
+        writes = np.zeros(1000, dtype=bool)
+        h.simulate(addrs[:400], writes[:400])
+        h.access(int(addrs[400]), False)
+        result = h.simulate(addrs[401:], writes[401:])
+        assert result.accesses == 1000
+        served = sum(result.level_hits.values()) + result.remote_fetches
+        assert served == 1000
+
+    def test_explicit_accesses_override(self):
+        h = small_hierarchy(dram_capacity=1 * u.MB)
+        h.simulate(np.zeros(10, dtype=np.uint64), np.zeros(10, dtype=bool))
+        assert h.result(accesses=20).accesses == 20
+        assert h.result().accesses == 10

@@ -48,3 +48,21 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "voltdb-tpcc" in out
         assert "paper 4KB" in out
+
+    def test_sweep_prints_tables(self, capsys):
+        assert main(["sweep", "--ops", "2000", "--processes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "redis-rand" in out and "kona" in out
+
+    def test_bench_quick_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "uniform-stress" in out and "speedup" in out
+        assert out_path.exists()
+
+    def test_bench_gate_failure_exits_nonzero(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--output", str(out_path),
+                  "--min-speedup", "1000"])
