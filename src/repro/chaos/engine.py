@@ -194,6 +194,7 @@ class ChaosEngine:
         """
         rt = self.runtime
         clock = rt.fabric.clock
+        tracer = rt.obs.tracer
         faulted = 0
         window_stall = 0.0
         window_count = 0
@@ -202,6 +203,8 @@ class ChaosEngine:
                                                  writes.tolist())):
             for label in self.schedule.fire_due(clock.now):
                 self.timeline.append((clock.now, label))
+                if tracer.enabled:
+                    tracer.instant(f"fault.{label}", "chaos")
             if self._recover_requested:
                 self._recover_requested = False
                 rt.recover()
@@ -225,6 +228,7 @@ class ChaosEngine:
                 window_count = 0
             if i & 0xFF == 0:
                 rt.maybe_evict()
+                rt.obs.tick()
         if window_count:
             window_amat.append((clock.now, window_stall / window_count))
         # Fire any events scheduled past the end of the stream, then
@@ -234,6 +238,8 @@ class ChaosEngine:
             clock.advance_to(max(clock.now, next_at))
             for label in self.schedule.fire_due(clock.now):
                 self.timeline.append((clock.now, label))
+                if tracer.enabled:
+                    tracer.instant(f"fault.{label}", "chaos")
         if self._recover_requested or not rt.health.healthy:
             self._recover_requested = False
             rt.recover()

@@ -11,6 +11,7 @@ Usage::
     python -m repro chaos [--seed 0] [--ops 30000]
     python -m repro sweep [--processes N] [--ops 40000]
     python -m repro bench [--quick] [--min-speedup 1.0] [--output FILE]
+    python -m repro trace [--out trace.json] [--prom FILE] [--jsonl FILE]
     python -m repro all
 
 Each command prints the regenerated rows/series next to the paper's
@@ -43,7 +44,9 @@ from .experiments import (
 )
 from .experiments.bench import check_speedup, run_bench, write_bench
 from .experiments.fig8 import SYSTEMS, best_block
+from .experiments.flight import instant_summary, run_flight, span_summary
 from .experiments.sweep import run_sweep, sweep_grid
+from .obs import validate_chrome_trace
 
 
 def cmd_table2(args: argparse.Namespace) -> None:
@@ -203,6 +206,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         print(render_table(["cache %", *systems], rows,
                            title=f"Sweep — {workload} (AMAT ns)"))
         print()
+    print(render_table(["counter", "total"], result.totals.items(),
+                       title="Sweep traffic (all workers)"))
 
 
 def cmd_bench(args: argparse.Namespace) -> None:
@@ -224,6 +229,40 @@ def cmd_bench(args: argparse.Namespace) -> None:
                 print(f"FAIL: {msg}")
             raise SystemExit(1)
         print(f"speedup gate passed (>= {args.min_speedup}x)")
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Flight recorder: traced chaos campaign -> Chrome trace JSON."""
+    result, recorder = run_flight(seed=args.seed, ops=args.trace_ops)
+    payload = recorder.chrome_trace()
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for msg in errors[:10]:
+            print(f"INVALID: {msg}", file=sys.stderr)
+        raise SystemExit(1)
+    path = recorder.write_chrome_trace(args.out)
+    print(f"chrome trace: {path} ({len(payload['traceEvents'])} events, "
+          f"{recorder.tracer.dropped} dropped) — open in Perfetto "
+          f"(ui.perfetto.dev) or chrome://tracing")
+    if args.prom:
+        print(f"prometheus dump: {recorder.write_prometheus(args.prom)}")
+    if args.jsonl:
+        print(f"jsonl event log: {recorder.write_jsonl(args.jsonl)}")
+    print()
+    print(render_table(
+        ["span", "count", "total us"], span_summary(recorder)[:12],
+        title="Busiest spans"))
+    print()
+    print(render_table(["category", "instants"], instant_summary(recorder),
+                       title="Instant events"))
+    stall = recorder.registry.get("kona_access_stall_ns")
+    if stall is not None and stall.count:
+        print(f"\naccess stall ns: p50 {stall.p50:.0f}  "
+              f"p95 {stall.p95:.0f}  p99 {stall.p99:.0f}  "
+              f"({stall.count} misses)")
+    health = result.telemetry.data["health"]
+    print(f"MTTR: {health['mttr_ns'] / 1e3:.1f} us over "
+          f"{health['degradations']} degradation(s)")
 
 
 def cmd_summary(args: argparse.Namespace) -> None:
@@ -250,6 +289,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "chaos": cmd_chaos,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 
@@ -294,6 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "reaches this speedup")
     parser.add_argument("--output", default="BENCH_kcachesim.json",
                         help="bench: report output path")
+    parser.add_argument("--out", default="trace.json",
+                        help="trace: Chrome trace-event JSON output path")
+    parser.add_argument("--trace-ops", type=int, default=8_000,
+                        help="trace: accesses in the traced campaign")
+    parser.add_argument("--prom", default=None,
+                        help="trace: also write a Prometheus text dump")
+    parser.add_argument("--jsonl", default=None,
+                        help="trace: also write a JSONL event log")
     return parser
 
 

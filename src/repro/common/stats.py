@@ -25,6 +25,20 @@ class Counter:
         """Copy of the raw counts."""
         return dict(self._counts)
 
+    def items(self) -> List[Tuple[str, int]]:
+        """(name, count) pairs in sorted-name order."""
+        return sorted(self._counts.items())
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Add every count of ``other`` into this counter; returns self.
+
+        The workhorse for aggregating per-worker counters after a
+        parallel fan-out (e.g. :func:`repro.experiments.sweep.run_sweep`).
+        """
+        for name, amount in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + amount
+        return self
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
         return f"Counter({inner})"

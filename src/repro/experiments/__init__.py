@@ -10,6 +10,7 @@ and EXPERIMENTS.md come from exactly this code.
 from .bench import BenchCase, check_speedup, run_bench, run_case, write_bench
 from .chaos import build_chaos_runtime, chaos_stream, run_chaos
 from .fig7 import Fig7Result, run_fig7
+from .flight import instant_summary, run_flight, span_summary
 from .fig8 import Fig8Result, run_fig8_amat, run_fig8d_blocksize
 from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
@@ -38,6 +39,7 @@ __all__ = [
     "build_chaos_runtime",
     "chaos_stream",
     "check_speedup",
+    "instant_summary",
     "run_bench",
     "run_case",
     "run_chaos",
@@ -48,6 +50,7 @@ __all__ = [
     "run_fig8_amat",
     "run_fig8d_blocksize",
     "run_fig9",
+    "run_flight",
     "run_headline",
     "run_sec21_motivation",
     "run_sec61_baseline_parity",
@@ -55,6 +58,7 @@ __all__ = [
     "run_sec63_tracker_overhead",
     "run_sweep",
     "run_table2",
+    "span_summary",
     "sweep_grid",
     "write_bench",
 ]

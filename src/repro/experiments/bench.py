@@ -22,7 +22,9 @@ tracking.  Methodology:
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -36,6 +38,32 @@ from ..workloads.amat import AMAT_SPECS, generate_exact_accesses
 
 #: Default report filename.
 BENCH_FILENAME = "BENCH_kcachesim.json"
+
+
+def _git_sha() -> Optional[str]:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def host_metadata() -> Dict[str, object]:
+    """Environment fingerprint recorded alongside benchmark numbers.
+
+    Timings are only comparable between runs on the same interpreter,
+    numpy build and core count; the git sha pins the code under test.
+    """
+    return {"python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "git_sha": _git_sha()}
 
 
 @dataclass(frozen=True)
@@ -150,9 +178,7 @@ def run_bench(quick: bool = False,
         "quick": quick,
         "methodology": ("best-of-N wall time per engine on identical "
                         "traces; per-level counters verified equal"),
-        "host": {"python": platform.python_version(),
-                 "numpy": np.__version__,
-                 "machine": platform.machine()},
+        "host": host_metadata(),
         "created_unix": int(time.time()),
         "cases": case_results,
         "canonical_workload": canonical["workload"],

@@ -24,27 +24,34 @@ placed at fractions of the estimated total.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..chaos import CampaignResult, ChaosEngine
 from ..common import units
 from ..kona import KonaConfig, KonaRuntime
+from ..obs import FlightRecorder
 
 #: Mapped region driven by the campaign (spans both memory nodes).
 REGION_BYTES = 32 * units.MB
 
 
-def build_chaos_runtime(seed: int = 0, replication: int = 1) -> KonaRuntime:
-    """A laptop-sized two-node runtime with seeded retry jitter."""
+def build_chaos_runtime(seed: int = 0, replication: int = 1,
+                        recorder: Optional[FlightRecorder] = None
+                        ) -> KonaRuntime:
+    """A laptop-sized two-node runtime with seeded retry jitter.
+
+    Pass a :class:`FlightRecorder` to trace the campaign (used by
+    ``repro trace``); by default the runtime gets a disabled recorder.
+    """
     config = KonaConfig(fmem_capacity=4 * units.MB,
                         vfmem_capacity=64 * units.MB,
                         slab_bytes=16 * units.MB,
                         replication_factor=replication,
                         retry_seed=seed)
     runtime = KonaRuntime(config, num_memory_nodes=2,
-                          app_ns_per_access=70.0)
+                          app_ns_per_access=70.0, recorder=recorder)
     # The default 100 us coherence timeout would swallow the whole
     # outage window in a handful of faulted accesses at this scale;
     # a 10 us timeout keeps the degraded phase populated with work.
@@ -84,7 +91,8 @@ def run_chaos(seed: int = 0, ops: int = 30_000,
               kill_fraction: float = 0.30,
               recover_fraction: float = 0.70,
               amat_tolerance: float = 0.35,
-              victim: str = "mem0") -> CampaignResult:
+              victim: str = "mem0",
+              recorder: Optional[FlightRecorder] = None) -> CampaignResult:
     """Run the memory-node-failure campaign end to end.
 
     Schedule: kill the victim at ``kill_fraction`` of the estimated
@@ -95,7 +103,7 @@ def run_chaos(seed: int = 0, ops: int = 30_000,
     """
     ns_per_access = _estimate_ns_per_access(ops, seed)
     total_est = ns_per_access * ops
-    runtime = build_chaos_runtime(seed)
+    runtime = build_chaos_runtime(seed, recorder=recorder)
     region = runtime.mmap(REGION_BYTES)
     addrs, writes = chaos_stream(region.start, ops, seed)
     engine = ChaosEngine(runtime, seed=seed,

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cache.amat import ALL_SYSTEMS
 from ..common import units
 from ..common.errors import ConfigError
+from ..common.stats import Counter
 from ..tools.kcachesim import KCacheSim
 from ..workloads.amat import AMAT_SPECS
 
@@ -56,6 +57,10 @@ class SweepResult:
     amat_ns: List[Dict[str, float]]
     #: Per-point served fractions by level name (plus ``remote``).
     served: List[Dict[str, float]] = field(default_factory=list)
+    #: Per-point traffic counters (accesses, remote traffic, level hits).
+    counters: List[Counter] = field(default_factory=list)
+    #: Whole-sweep traffic, aggregated across every worker's points.
+    totals: Counter = field(default_factory=Counter)
 
     def series(self, system: str) -> List[Tuple[float, float]]:
         """(cache_fraction, amat_ns) pairs for one system, grid order."""
@@ -85,14 +90,22 @@ def sweep_grid(workloads: Iterable[str],
     return points
 
 
-def _run_point(point: SweepPoint) -> Tuple[Dict[str, float], Dict[str, float]]:
+def _run_point(point: SweepPoint) -> Tuple[Dict[str, float],
+                                           Dict[str, float], Counter]:
     """Simulate one grid point (module-level: picklable for the pool)."""
     spec = AMAT_SPECS[point.workload]()
     sim = KCacheSim(spec, engine=point.engine)
     result = sim.run(point.cache_fraction, block_size=point.block_size,
                      num_ops=point.num_ops, seed=point.seed)
     amat = {name: result.amat_ns(name) for name in ALL_SYSTEMS}
-    return amat, result.hierarchy.served_fractions()
+    hierarchy = result.hierarchy
+    tally = Counter()
+    tally.add("accesses", hierarchy.accesses)
+    tally.add("remote_fetches", hierarchy.remote_fetches)
+    tally.add("remote_writebacks", hierarchy.remote_writebacks)
+    for level, hits in hierarchy.level_hits.items():
+        tally.add(f"hits.{level}", hits)
+    return amat, hierarchy.served_fractions(), tally
 
 
 def run_sweep(points: Sequence[SweepPoint],
@@ -113,6 +126,11 @@ def run_sweep(points: Sequence[SweepPoint],
     else:
         with Pool(processes=processes) as pool:
             outcomes = pool.map(_run_point, points)
+    totals = Counter()
+    for _, _, tally in outcomes:
+        totals.merge(tally)
     return SweepResult(points=points,
-                       amat_ns=[a for a, _ in outcomes],
-                       served=[s for _, s in outcomes])
+                       amat_ns=[a for a, _, _ in outcomes],
+                       served=[s for _, s, _ in outcomes],
+                       counters=[c for _, _, c in outcomes],
+                       totals=totals)

@@ -31,6 +31,7 @@ from ..common.stats import Counter
 from ..coherence.directory import Directory
 from ..coherence.states import CoherenceEvent, EventKind, Protocol
 from ..mem.address import AddressRange
+from ..obs.trace import Tracer
 from .bitmap import DirtyBitmap
 from .fmem import FMemCache
 from .prefetcher import NextPagePrefetcher, Prefetcher
@@ -66,7 +67,8 @@ class MemoryAgent:
                  remote_read_ns: Optional[Callable[[str, int], float]] = None,
                  locate: Optional[Callable[[int], "object"]] = None,
                  prefetcher: Optional[Prefetcher] = None,
-                 protocol: Protocol = Protocol.MESI) -> None:
+                 protocol: Protocol = Protocol.MESI,
+                 tracer: Optional[Tracer] = None) -> None:
         self.vfmem = vfmem
         self.fmem = fmem
         self.translation = translation
@@ -77,6 +79,7 @@ class MemoryAgent:
         self.bitmap = DirtyBitmap(page_size=fmem.page_size)
         self.account = Account()
         self.counters = Counter()
+        self.tracer = tracer
         self._eviction_sinks: List[EvictionSink] = []
         self._last_access_ns = 0.0
         # Pluggable remote read cost (node, nbytes) -> ns; defaults to a
@@ -111,16 +114,35 @@ class MemoryAgent:
     # -- event handling --------------------------------------------------------------
 
     def _on_event(self, event: CoherenceEvent) -> None:
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if event.kind is EventKind.FILL:
-            self._last_access_ns = self._serve_fill(event.line_addr)
+            if tracing:
+                # The fill span nests its RDMA read and any eviction it
+                # triggers; the critical-path cost is charged explicitly
+                # because the sim clock does not advance in here.
+                with tracer.span("fetch.fill", "fetch",
+                                 line=event.line_addr) as span:
+                    cost = self._serve_fill(event.line_addr)
+                    span.extend(cost)
+                    span.set(critical_ns=round(cost, 1))
+                self._last_access_ns = cost
+            else:
+                self._last_access_ns = self._serve_fill(event.line_addr)
         elif event.kind is EventKind.DIRTY_WRITEBACK:
             self.bitmap.mark_line(event.line_addr)
             self.counters.add("writebacks_tracked")
+            if tracing:
+                tracer.instant("coherence.writeback", "coherence",
+                               line=event.line_addr)
             self._last_access_ns = 0.0   # off the critical path
         elif event.kind is EventKind.UPGRADE:
             if self.config.eager_upgrade_tracking:
                 self.bitmap.mark_line(event.line_addr)
             self.counters.add("upgrades_seen")
+            if tracing:
+                tracer.instant("coherence.upgrade", "coherence",
+                               line=event.line_addr)
             self._last_access_ns = self.latency.coherence_msg_ns
         elif event.kind is EventKind.SNOOPED:
             self.bitmap.mark_line(event.line_addr)
@@ -129,11 +151,15 @@ class MemoryAgent:
 
     def _serve_fill(self, line_addr: int) -> float:
         """Serve a CPU line request from FMem or remote memory."""
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if self.fmem.lookup(line_addr):
             self.fmem.touch(line_addr)   # LRU promotion
             self.counters.add("fmem_hits")
             cost = self.latency.fmem_ns
             self.account.charge("fmem_hit", cost)
+            if tracing:
+                tracer.emit("fetch.fmem_hit", cost, "fetch")
             # Stream detection also fires on hits — that is what keeps
             # a sequential scan ahead of the fetch engine.
             self._maybe_prefetch(line_addr)
@@ -148,8 +174,11 @@ class MemoryAgent:
         _, eviction = self.fmem.touch(line_addr)
         if eviction is not None:
             self._evict_page(eviction.vfmem_page_addr)
-        critical = (self.latency.coherence_msg_ns
-                    + self._remote_read_ns(location.node, units.CACHE_LINE))
+        read_ns = self._remote_read_ns(location.node, units.CACHE_LINE)
+        critical = self.latency.coherence_msg_ns + read_ns
+        if tracing:
+            tracer.emit("rdma.read", read_ns, "rdma", node=location.node,
+                        nbytes=units.CACHE_LINE)
         remainder = max(self.config.fetch_block - units.CACHE_LINE, 0)
         if remainder:
             fill = self.latency.rdma_per_byte_ns * remainder
@@ -179,9 +208,11 @@ class MemoryAgent:
         if eviction is not None:
             self._evict_page(eviction.vfmem_page_addr)
         self.counters.add("pages_prefetched")
-        self.account.charge(
-            "prefetch_background",
-            self.latency.rdma_per_byte_ns * self.config.fetch_block)
+        fill = self.latency.rdma_per_byte_ns * self.config.fetch_block
+        self.account.charge("prefetch_background", fill)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("fetch.prefetch", fill, "fetch",
+                             page=page_index)
 
     def proactive_evict(self, count: int) -> int:
         """Background reclaim: drop ``count`` LRU pages from FMem.

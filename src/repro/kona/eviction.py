@@ -44,6 +44,7 @@ from ..cluster.controller import RackController
 from ..fpga.translation import RemoteLocation, RemoteTranslationMap
 from ..net.fabric import Fabric
 from ..net.ring import RECORD_BYTES, LogRecord, pack_dirty_lines
+from ..obs.trace import Tracer, traced
 from .config import KonaConfig
 
 
@@ -147,7 +148,8 @@ class EvictionHandler:
                  retrier: Optional[Retrier] = None,
                  on_fault: Optional[Callable[[str], None]] = None,
                  fabric: Optional[Fabric] = None,
-                 local_node: str = "compute") -> None:
+                 local_node: str = "compute",
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
         self.translation = translation
         self.controller = controller
@@ -156,6 +158,7 @@ class EvictionHandler:
         self.on_fault = on_fault
         self.fabric = fabric
         self.local_node = local_node
+        self.tracer = tracer
         self.stats = EvictionStats()
         self.counters = Counter()
         # Pending log records per destination node, staged in the
@@ -179,16 +182,34 @@ class EvictionHandler:
             self.stats.clean_pages += 1
             self.counters.add("silent_evictions")
             return 0.0
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("evict.page", "evict",
+                             page=vfmem_page_addr,
+                             dirty_lines=dirty_mask.bit_count()) as span:
+                elapsed = self._evict_dirty(vfmem_page_addr, dirty_mask)
+                span.extend(elapsed)
+            return elapsed
+        return self._evict_dirty(vfmem_page_addr, dirty_mask)
+
+    def _evict_dirty(self, vfmem_page_addr: int, dirty_mask: int) -> float:
         dirty_lines = dirty_mask.bit_count()
         # Scanning the bitmap for set bits costs per tracked line.
         scan = self.latency.bitmap_scan_per_line_ns * units.LINES_PER_PAGE
         self.stats.account.charge("bitmap", scan)
+        self._emit("evict.bitmap_scan", scan)
         elapsed = scan
         if dirty_lines >= self.config.full_page_threshold:
             elapsed += self._write_full_page(vfmem_page_addr)
         else:
             elapsed += self._log_dirty_lines(vfmem_page_addr, dirty_mask)
         return elapsed
+
+    def _emit(self, name: str, dur_ns: float, **args) -> None:
+        """Record a child span when the tracer is live (hot-path cheap)."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(name, dur_ns, "evict", **args)
 
     # -- whole-page path ---------------------------------------------------------------
 
@@ -197,6 +218,7 @@ class EvictionHandler:
         locations = self._locations(vfmem_page_addr)
         copy = self.latency.memcpy_ns(page)
         self.stats.account.charge("copy", copy)
+        self._emit("evict.copy", copy, nbytes=page)
         live = [loc for loc in locations if self._location_alive(loc)]
         self.stats.full_page_writes += 1
         self.stats.dirty_bytes += page
@@ -218,6 +240,8 @@ class EvictionHandler:
                 page, linked=True, signaled=False))
             self.stats.wire_bytes += page
         self.stats.account.charge("rdma_write", wire)
+        self._emit("rdma.write", wire, nbytes=page * len(live),
+                   full_page=True)
         return copy + wire
 
     # -- cache-line log path --------------------------------------------------------------
@@ -232,6 +256,7 @@ class EvictionHandler:
         segments = [length for _, length in _mask_segments(dirty_mask)]
         copy = self.latency.copy_segments_ns(segments)
         self.stats.account.charge("copy", copy)
+        self._emit("evict.copy", copy, segments=len(segments))
         if target is None:
             # Primary and every replica unreachable: park for recovery.
             records = self._records_for(vfmem_page_addr, dirty_mask, primary)
@@ -261,6 +286,16 @@ class EvictionHandler:
         records = self._pending.pop(node, [])
         if not records:
             return 0.0
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("evict.flush", "evict", node=node,
+                             records=len(records)) as span:
+                elapsed = self._flush_records(node, records)
+                span.extend(elapsed)
+            return elapsed
+        return self._flush_records(node, records)
+
+    def _flush_records(self, node: str, records: List[LogRecord]) -> float:
         if not self._node_alive(node):
             # The node died between staging and the doorbell: park
             # without burning the retry budget on a known-dead target.
@@ -278,6 +313,8 @@ class EvictionHandler:
         wire += (replicas - 1) * posting
         self.stats.account.charge("rdma_write", wire)
         self.stats.wire_bytes += log_bytes * replicas
+        self._emit("rdma.write", wire, nbytes=log_bytes * replicas,
+                   node=node)
         # Remote scatter + acknowledgment round trip, partially hidden
         # behind preparing the next batch (the small "Ack wait" slice
         # of Figure 11c).
@@ -290,6 +327,8 @@ class EvictionHandler:
                 if retries > 0:
                     self.counters.add("flush_retries", retries)
                     self.stats.account.charge("retry_backoff", backoff_ns)
+                    self._emit("evict.retry_backoff", backoff_ns,
+                               retries=retries)
             else:
                 self._deliver(node, records)
         except (NetworkError, RetryExhausted):
@@ -302,6 +341,7 @@ class EvictionHandler:
             return wire + backoff_ns + self._park_records(node, records)
         ack_exposed = self.latency.rdma_base_ns * 1.2
         self.stats.account.charge("ack_wait", ack_exposed)
+        self._emit("evict.ack_wait", ack_exposed)
         self.counters.add("log_flushes")
         return wire + backoff_ns + ack_exposed
 
@@ -363,6 +403,9 @@ class EvictionHandler:
         """Park records for ``node`` until it recovers; returns stall ns."""
         self.counters.add("lines_requeued", len(records))
         overflow = self.writeback_buffer.park(node, records)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant("evict.park", "evict", node=node,
+                                records=len(records), overflow=overflow)
         self._fault(f"writebacks parked for {node}")
         if overflow == 0:
             return 0.0
@@ -371,8 +414,10 @@ class EvictionHandler:
         stall = overflow * self.latency.rdma_base_ns
         self.stats.account.charge("backpressure_stall", stall)
         self.counters.add("backpressure_stalls")
+        self._emit("evict.backpressure_stall", stall, overflow=overflow)
         return stall
 
+    @traced("evict.drain_recovered", cat="recovery")
     def drain_recovered(self) -> float:
         """Redeliver parked writebacks to every node that came back.
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 from ..common.clock import SimClock
 from ..common.errors import SimulationError
 from ..common.stats import Counter
+from ..obs.trace import Tracer
 
 
 class HealthState(Enum):
@@ -58,8 +59,10 @@ class Incident:
 class HealthMonitor:
     """Tracks the HEALTHY / DEGRADED / RECOVERING state machine."""
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock,
+                 tracer: Optional[Tracer] = None) -> None:
         self.clock = clock
+        self.tracer = tracer
         self.state = HealthState.HEALTHY
         self.counters = Counter()
         self.transitions: List[Tuple[float, str]] = []
@@ -76,7 +79,7 @@ class HealthMonitor:
         if self.state is HealthState.DEGRADED:
             self.counters.add("repeat_faults")
             return
-        self._move(HealthState.DEGRADED)
+        self._move(HealthState.DEGRADED, reason=reason)
         if self._degraded_at is None:
             self._degraded_at = self.clock.now
             self._degraded_reason = reason
@@ -101,14 +104,22 @@ class HealthMonitor:
             self._degraded_reason = ""
         self.counters.add("recoveries_completed")
 
-    def _move(self, to: HealthState) -> None:
+    def _move(self, to: HealthState, reason: str = "") -> None:
         if (self.state, to) not in _TRANSITIONS:
             raise SimulationError(
                 f"illegal health transition {self.state.name} -> {to.name}")
+        came_from = self.state
         self._time_in[self.state] += self.clock.now - self._entered_at
         self.state = to
         self._entered_at = self.clock.now
         self.transitions.append((self.clock.now, to.name))
+        if self.tracer is not None and self.tracer.enabled:
+            # Health transitions live in the trace itself, so MTTR is
+            # derivable from DEGRADED -> HEALTHY instants alone.
+            args = {"from": came_from.name}
+            if reason:
+                args["reason"] = reason
+            self.tracer.instant(f"health.{to.name}", "health", **args)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from ..fpga.translation import RemoteTranslationMap
 from ..mem.address import AddressRange, align_down
 from ..mem.pagetable import PageTable
 from ..net.fabric import Fabric
+from ..obs import FlightRecorder, traced
 from ..vm.swap import ExecutionReport
 from .alloclib import AllocLib
 from .config import KonaConfig
@@ -70,15 +71,26 @@ class KonaRuntime:
                  num_memory_nodes: int = 2,
                  cpu_cache_capacity: int = 8 * units.MB,
                  app_ns_per_access: float = 70.0,
-                 failure_mode: FallbackMode = FallbackMode.PAGE_FAULT_FALLBACK
-                 ) -> None:
+                 failure_mode: FallbackMode = FallbackMode.PAGE_FAULT_FALLBACK,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.config = config if config is not None else KonaConfig()
         self.latency = latency
         self.app_ns_per_access = app_ns_per_access
         cfg = self.config
 
+        # -- observability ---------------------------------------------------
+        # The flight recorder (metrics registry + span tracer + sampler)
+        # shares the fabric's sim clock; when the caller supplies both a
+        # fabric and a recorder, the recorder is rebound to the fabric's
+        # clock so timestamps agree.
+        self.obs = recorder if recorder is not None else FlightRecorder()
+
         # -- rack ------------------------------------------------------------
-        self.fabric = fabric if fabric is not None else Fabric(latency)
+        if fabric is None:
+            fabric = Fabric(latency, clock=self.obs.clock)
+        self.fabric = fabric
+        self.obs.bind_clock(self.fabric.clock)
+        self.fabric.tracer = self.obs.tracer
         if not self.fabric.has_node("compute"):
             self.fabric.add_node("compute")
         if controller is None:
@@ -112,6 +124,7 @@ class KonaRuntime:
             locate=self._locate_with_failover,
             prefetcher=prefetcher,
             protocol=Protocol(cfg.protocol),
+            tracer=self.obs.tracer,
         )
         self.cpu_cache = CoherentCache(
             agent_id=0, resolver=self._directory_for,
@@ -124,7 +137,8 @@ class KonaRuntime:
             self.page_table)
         self.alloclib = AllocLib(self.resource_manager)
         self.tracker = DirtyDataTracker(self.agent.bitmap, cfg.page_size)
-        self.health = HealthMonitor(self.fabric.clock)
+        self.health = HealthMonitor(self.fabric.clock,
+                                    tracer=self.obs.tracer)
         self.retrier = Retrier(
             RetryPolicy(max_attempts=cfg.retry_max_attempts,
                         base_backoff_ns=cfg.retry_base_backoff_ns),
@@ -133,7 +147,8 @@ class KonaRuntime:
                                         self.controller, latency,
                                         retrier=self.retrier,
                                         on_fault=self.health.degrade,
-                                        fabric=self.fabric)
+                                        fabric=self.fabric,
+                                        tracer=self.obs.tracer)
         self.agent.on_page_eviction(self._eviction_sink)
         self.poller = Poller()
 
@@ -141,8 +156,108 @@ class KonaRuntime:
         self.account = Account()
         self.counters = Counter()
         self.background_ns = 0.0
+        self._register_metrics()
 
     # -- wiring helpers -----------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Register every component metric as a labeled registry gauge.
+
+        Hot paths keep their cheap :class:`Counter` bags; the registry
+        overlays them with callable gauges so telemetry, the sampler
+        and the exporters all read one namespace (see
+        :func:`repro.kona.telemetry.snapshot`, now a registry view).
+        """
+        reg = self.obs.registry
+        gauges = {
+            "memory.vfmem_bytes": lambda: self.vfmem.size,
+            "memory.fmem_bytes": lambda: self.fmem.capacity,
+            "memory.fmem_occupancy": lambda: self.fmem.occupancy,
+            "memory.fmem_hit_ratio": lambda: round(self.fmem.hit_ratio, 4),
+            "memory.bound_remote_bytes":
+                lambda: self.resource_manager.bound_bytes,
+            "memory.live_alloc_bytes": lambda: self.alloclib.live_bytes,
+            "fetch.cache_hits": lambda: self.counters["cache_hits"],
+            "fetch.cache_misses": lambda: self.counters["cache_misses"],
+            "fetch.fmem_hits": lambda: self.agent.counters["fmem_hits"],
+            "fetch.remote_fetches":
+                lambda: self.agent.counters["remote_fetches"],
+            "fetch.pages_prefetched":
+                lambda: self.agent.counters["pages_prefetched"],
+            "tracking.writebacks_tracked":
+                lambda: self.agent.counters["writebacks_tracked"],
+            "tracking.lines_snooped":
+                lambda: self.agent.counters["lines_snooped"],
+            "tracking.dirty_lines_pending":
+                lambda: self.agent.bitmap.total_dirty_lines(),
+            "eviction.pages_evicted": lambda: self.eviction.stats.pages_evicted,
+            "eviction.clean_pages": lambda: self.eviction.stats.clean_pages,
+            "eviction.full_page_writes":
+                lambda: self.eviction.stats.full_page_writes,
+            "eviction.lines_logged": lambda: self.eviction.stats.lines_logged,
+            "eviction.dirty_bytes": lambda: self.eviction.stats.dirty_bytes,
+            "eviction.wire_bytes": lambda: self.eviction.stats.wire_bytes,
+            "eviction.goodput_mb_s": lambda: round(
+                self.eviction.stats.goodput_bytes_per_s() / units.MB, 2)
+                if self.eviction.stats.elapsed_ns > 0 else 0.0,
+            "faults.page_faults":
+                lambda: self.page_table.counters["faults_missing"],
+            "faults.protection_faults":
+                lambda: self.page_table.counters["faults_protection"],
+            "faults.replica_failovers":
+                lambda: self.failures.counters["replica_failovers"],
+            "faults.degraded_pages":
+                lambda: len(self.failures.degraded_pages),
+            "health.state": lambda: self.health.state.name,
+            "health.degradations":
+                lambda: self.health.counters["degradations"],
+            "health.recoveries":
+                lambda: self.health.counters["recoveries_completed"],
+            "health.mttr_ns": lambda: round(self.health.mttr_ns, 1),
+            "health.time_in_degraded_ns":
+                lambda: round(self.health.time_in_degraded_ns, 1),
+            "health.flush_retries":
+                lambda: self.eviction.counters["flush_retries"],
+            "health.flush_failures":
+                lambda: self.eviction.counters["flush_failures"],
+            "health.lines_requeued":
+                lambda: self.eviction.counters["lines_requeued"],
+            "health.lines_redelivered":
+                lambda: self.eviction.counters["lines_redelivered"],
+            "health.parked_records": lambda: self.eviction.parked_records,
+            "health.backpressure_stalls":
+                lambda: self.eviction.counters["backpressure_stalls"],
+            "health.eviction_failovers":
+                lambda: self.eviction.counters["eviction_failovers"],
+            "network.transfers": lambda: self.fabric.counters["transfers"],
+            "network.bytes_moved": lambda: self.fabric.bytes_moved,
+            "network.failed_transfers":
+                lambda: self.fabric.counters["failed_transfers"],
+            "coherence.get_s": lambda: self.agent.directory.counters["get_s"],
+            "coherence.get_m": lambda: self.agent.directory.counters["get_m"],
+            "coherence.put_m": lambda: self.agent.directory.counters["put_m"],
+            "coherence.snoops":
+                lambda: self.agent.directory.counters["snoops"],
+            "coherence.invalidations":
+                lambda: self.agent.directory.counters["invalidations"],
+            "coherence.owned_transitions":
+                lambda: self.agent.directory.counters["owned_transitions"],
+        }
+        for name, fn in gauges.items():
+            reg.gauge(name, fn=fn)
+        # Latency distributions, fed on the access path while tracing
+        # is enabled (log-bucketed; p50/p95/p99 in the exports).
+        self._stall_hist = reg.histogram(
+            "kona_access_stall_ns",
+            help="critical-path stall per CPU-cache miss (ns)")
+        self._evict_hist = reg.histogram(
+            "kona_evict_page_ns",
+            help="eviction-handler time per evicted page (ns)")
+
+    @property
+    def tracer(self):
+        """The flight recorder's span tracer (for ``@traced`` methods)."""
+        return self.obs.tracer
 
     def _directory_for(self, line_addr: int):
         return self.agent.directory if line_addr in self.vfmem else None
@@ -170,8 +285,10 @@ class KonaRuntime:
     def _eviction_sink(self, vfmem_page_addr: int, dirty_mask: int) -> None:
         # Eviction runs off the critical path (paper section 4.4): the
         # handler's time accrues to the background budget.
-        self.background_ns += self.eviction.evict_page(vfmem_page_addr,
-                                                       dirty_mask)
+        elapsed = self.eviction.evict_page(vfmem_page_addr, dirty_mask)
+        self.background_ns += elapsed
+        if self.obs.enabled:
+            self._evict_hist.observe(elapsed)
 
     # -- allocation API ---------------------------------------------------------------
 
@@ -206,6 +323,8 @@ class KonaRuntime:
         cost = self.agent.last_access_ns
         self.account.charge("memory_stall", cost)
         self.counters.add("cache_misses")
+        if self.obs.enabled:
+            self._stall_hist.observe(cost)
         return cost
 
     def read(self, addr: int, size: int = units.WORD) -> float:
@@ -258,6 +377,7 @@ class KonaRuntime:
             stall += access(int(addr), is_write)
             if i & 0xFF == 0:
                 maybe_evict()   # background reclaimer ticks periodically
+                self.obs.tick()  # gauge sampler, when one is attached
         app = self.app_ns_per_access * addrs.size
         self.account.charge("app_compute", app)
         return ExecutionReport(
@@ -292,6 +412,7 @@ class KonaRuntime:
         self.counters.add("watermark_reclaims")
         return self.agent.proactive_evict(count)
 
+    @traced("runtime.recover", cat="recovery")
     def recover(self) -> float:
         """Recovery path after an outage clears (paper section 4.5).
 
@@ -315,6 +436,7 @@ class KonaRuntime:
             self.health.recovered()
         return drained_ns
 
+    @traced("runtime.flush", cat="runtime")
     def flush(self) -> float:
         """Write everything back: CPU caches, FMem, pending logs.
 

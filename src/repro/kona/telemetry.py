@@ -1,8 +1,12 @@
 """Runtime telemetry: one structured snapshot of a Kona deployment.
 
-Production runtimes live and die by their observability; this module
-gathers every counter the components keep into a single report, with a
-rendered summary for logs and a dict for dashboards.
+Since the flight recorder landed, this module is a *thin view over the
+metrics registry*: :func:`snapshot` asks the runtime's
+:class:`~repro.obs.registry.MetricsRegistry` for its gauge sections
+(every component metric is registered there as a callable gauge) and
+freezes them into a :class:`TelemetrySnapshot`.  The snapshot keeps its
+original render/flat API, so dashboards and the chaos fingerprint are
+unchanged consumers — they just read through the registry now.
 """
 
 from __future__ import annotations
@@ -10,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict
 
-from .. import units
 from ..analysis.report import render_table
+from ..common.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -21,11 +25,21 @@ class TelemetrySnapshot:
     data: Dict[str, Dict[str, Any]]
 
     def flat(self) -> Dict[str, Any]:
-        """Flatten to dotted keys (for metrics pipelines)."""
+        """Flatten to dotted keys (for metrics pipelines).
+
+        Keys come back in deterministic sorted order (section, then
+        key), and a dotted-key collision between sections — e.g.
+        section ``a.b`` key ``c`` versus section ``a`` key ``b.c`` —
+        raises instead of silently overwriting one of the values.
+        """
         out: Dict[str, Any] = {}
-        for section, values in self.data.items():
-            for key, value in values.items():
-                out[f"{section}.{key}"] = value
+        for section in sorted(self.data):
+            for key in sorted(self.data[section]):
+                dotted = f"{section}.{key}"
+                if dotted in out:
+                    raise ConfigError(
+                        f"telemetry key collision on {dotted!r}")
+                out[dotted] = self.data[section][key]
         return out
 
     def render(self) -> str:
@@ -39,72 +53,10 @@ class TelemetrySnapshot:
 
 
 def snapshot(runtime) -> TelemetrySnapshot:
-    """Collect a :class:`TelemetrySnapshot` from a KonaRuntime."""
-    fmem = runtime.fmem
-    eviction = runtime.eviction.stats
-    agent = runtime.agent
-    data: Dict[str, Dict[str, Any]] = {
-        "memory": {
-            "vfmem_bytes": runtime.vfmem.size,
-            "fmem_bytes": fmem.capacity,
-            "fmem_occupancy": fmem.occupancy,
-            "fmem_hit_ratio": round(fmem.hit_ratio, 4),
-            "bound_remote_bytes": runtime.resource_manager.bound_bytes,
-            "live_alloc_bytes": runtime.alloclib.live_bytes,
-        },
-        "fetch": {
-            "cache_hits": runtime.counters["cache_hits"],
-            "cache_misses": runtime.counters["cache_misses"],
-            "fmem_hits": agent.counters["fmem_hits"],
-            "remote_fetches": agent.counters["remote_fetches"],
-            "pages_prefetched": agent.counters["pages_prefetched"],
-        },
-        "tracking": {
-            "writebacks_tracked": agent.counters["writebacks_tracked"],
-            "lines_snooped": agent.counters["lines_snooped"],
-            "dirty_lines_pending": agent.bitmap.total_dirty_lines(),
-        },
-        "eviction": {
-            "pages_evicted": eviction.pages_evicted,
-            "clean_pages": eviction.clean_pages,
-            "full_page_writes": eviction.full_page_writes,
-            "lines_logged": eviction.lines_logged,
-            "dirty_bytes": eviction.dirty_bytes,
-            "wire_bytes": eviction.wire_bytes,
-            "goodput_mb_s": round(
-                eviction.goodput_bytes_per_s() / units.MB, 2)
-            if eviction.elapsed_ns > 0 else 0.0,
-        },
-        "faults": {
-            "page_faults": runtime.page_table.counters["faults_missing"],
-            "protection_faults":
-                runtime.page_table.counters["faults_protection"],
-            "replica_failovers":
-                runtime.failures.counters["replica_failovers"],
-            "degraded_pages": len(runtime.failures.degraded_pages),
-        },
-        "health": {
-            "state": runtime.health.state.name,
-            "degradations": runtime.health.counters["degradations"],
-            "recoveries": runtime.health.counters["recoveries_completed"],
-            "mttr_ns": round(runtime.health.mttr_ns, 1),
-            "time_in_degraded_ns": round(
-                runtime.health.time_in_degraded_ns, 1),
-            "flush_retries": runtime.eviction.counters["flush_retries"],
-            "flush_failures": runtime.eviction.counters["flush_failures"],
-            "lines_requeued": runtime.eviction.counters["lines_requeued"],
-            "lines_redelivered":
-                runtime.eviction.counters["lines_redelivered"],
-            "parked_records": runtime.eviction.parked_records,
-            "backpressure_stalls":
-                runtime.eviction.counters["backpressure_stalls"],
-            "eviction_failovers":
-                runtime.eviction.counters["eviction_failovers"],
-        },
-        "network": {
-            "transfers": runtime.fabric.counters["transfers"],
-            "bytes_moved": runtime.fabric.bytes_moved,
-            "failed_transfers": runtime.fabric.counters["failed_transfers"],
-        },
-    }
-    return TelemetrySnapshot(data=data)
+    """Collect a :class:`TelemetrySnapshot` from a KonaRuntime.
+
+    A thin view: the values are read live from the runtime's metrics
+    registry (``runtime.obs.registry``), where every component counter
+    and gauge is registered under a ``section.key`` name.
+    """
+    return TelemetrySnapshot(data=runtime.obs.registry.sections())

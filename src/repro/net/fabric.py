@@ -108,6 +108,8 @@ class Fabric:
         self._cuts: List[Tuple[Set[str], Set[str]]] = []
         self.counters = Counter()
         self.bytes_moved = 0
+        #: Optional span tracer (attached by the runtime's recorder).
+        self.tracer = None
 
     # -- topology ------------------------------------------------------------
 
@@ -287,12 +289,19 @@ class Fabric:
             if jitter is not None:
                 mean, rng = jitter
                 latency_ns += rng.exponential(mean)
+        tracing = self.tracer is not None and self.tracer.enabled
         if self.drops_transfer(src, dst):
             # The attempt occupied the wire before it was lost.
             self.clock.advance(latency_ns)
+            if tracing:
+                self.tracer.instant("net.transfer_dropped", "rdma",
+                                    src=src, dst=dst, nbytes=nbytes)
             raise NetworkError(
                 f"flaky link {src!r}->{dst!r} dropped transfer")
         self.clock.advance(latency_ns)
+        if tracing:
+            self.tracer.emit("net.transfer", latency_ns, "rdma",
+                             src=src, dst=dst, nbytes=nbytes)
         self.counters.add("transfers")
         self.bytes_moved += nbytes
         return TransferReceipt(src=src, dst=dst, nbytes=nbytes,

@@ -1,0 +1,48 @@
+"""repro.obs — the flight-recorder subsystem.
+
+Labeled metrics registry, sim-clock span tracing, periodic gauge
+sampling, and Chrome-trace / Prometheus / JSONL exporters.  See
+``docs/architecture.md`` (Observability) for the span model and
+export formats.
+"""
+
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .recorder import FlightRecorder
+from .registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .sampler import Sampler
+from .trace import NULL_SPAN, Span, Tracer, traced
+
+__all__ = [
+    "CounterMetric",
+    "FlightRecorder",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Sampler",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "jsonl_lines",
+    "prometheus_text",
+    "traced",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

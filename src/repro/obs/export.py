@@ -1,0 +1,243 @@
+"""Flight-recorder exporters: Chrome trace JSON, Prometheus, JSONL.
+
+Three formats, three audiences:
+
+* **Chrome trace-event JSON** — open in ``about://tracing`` or
+  https://ui.perfetto.dev to see the nested span timeline.  Timestamps
+  convert from simulated ns to the format's microseconds.
+* **Prometheus text format** — one dump of every registry metric,
+  including histogram ``_bucket``/``_sum``/``_count`` series, for
+  scrape-shaped pipelines and diffing runs.
+* **JSONL** — one self-describing JSON object per line (trace events,
+  sampler rows, final metric values) for ad-hoc ``jq`` analysis.
+
+``validate_chrome_trace`` is the schema gate the CLI and CI use before
+trusting a trace file; run it standalone with
+``python -m repro.obs.export trace.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from .registry import HistogramMetric, MetricsRegistry
+
+#: Chrome trace event phases we emit / accept.
+_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def chrome_trace(events: List[Dict[str, Any]],
+                 process_name: str = "kona-sim") -> Dict[str, Any]:
+    """Build a Chrome trace-event JSON object from tracer events.
+
+    Tracer timestamps are simulated ns; the trace-event format wants
+    microseconds, so ``ts``/``dur`` are scaled by 1/1000.
+    """
+    out: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1, "ts": 0,
+        "args": {"name": process_name},
+    }]
+    for event in events:
+        converted = dict(event)
+        converted["pid"] = 1
+        converted["tid"] = 1
+        converted["ts"] = event["ts"] / 1e3
+        if "dur" in event:
+            converted["dur"] = event["dur"] / 1e3
+        out.append(converted)
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(recorder, path: str) -> str:
+    """Write a recorder's span timeline as Chrome trace JSON."""
+    payload = chrome_trace(recorder.tracer.events)
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check a Chrome trace object; returns error messages.
+
+    An empty list means the trace is loadable by ``about://tracing``:
+    a ``traceEvents`` array whose entries carry ``name``/``ph``/``ts``/
+    ``pid``/``tid``, with a known phase, numeric non-negative
+    timestamps, and durations on complete (``X``) events.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                errors.append(f"{where}: missing {field!r}")
+        ph = event.get("ph")
+        if ph is not None and ph not in _PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+        ts = event.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float))
+                               or ts < 0):
+            errors.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs dur >= 0")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            errors.append(f"{where}: counter event needs args")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: args must be an object")
+    if len(errors) >= 50:
+        errors = errors[:50] + ["... (truncated)"]
+    return errors
+
+
+# -- Prometheus text format ---------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return _METRIC_NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _prom_number(value: float) -> str:
+    if value != value:                      # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registry metric in Prometheus text format.
+
+    Counters get the conventional ``_total`` suffix; string-valued
+    gauges become ``<name>_info{value="..."} 1`` info metrics;
+    histograms expand into cumulative ``_bucket`` series plus ``_sum``
+    and ``_count``.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        name = _prom_name(family.name)
+        if family.kind == "counter":
+            name += "_total"
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} "
+                     f"{'untyped' if family.kind == 'histogram' else family.kind}")
+        for labels, child in family.children():
+            if isinstance(child, HistogramMetric):
+                cumulative = 0
+                for bound, cumulative in child.buckets():
+                    bucket_labels = (*labels, ("le", _prom_number(bound)))
+                    lines.append(f"{name}_bucket{_prom_labels(bucket_labels)} "
+                                 f"{cumulative}")
+                inf_labels = (*labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{_prom_labels(inf_labels)} "
+                             f"{child.count}")
+                lines.append(f"{name}_sum{_prom_labels(labels)} "
+                             f"{_prom_number(child.sum)}")
+                lines.append(f"{name}_count{_prom_labels(labels)} "
+                             f"{child.count}")
+                continue
+            value = child.value
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                lines.append(f"{name}{_prom_labels(labels)} "
+                             f"{_prom_number(value)}")
+            else:
+                info_labels = (*labels, ("value", str(value)))
+                lines.append(f"{name}_info{_prom_labels(info_labels)} 1")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(recorder, path: str) -> str:
+    """Write the recorder's registry as a Prometheus text dump."""
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(recorder.registry))
+    return path
+
+
+# -- JSONL -----------------------------------------------------------------------
+
+
+def jsonl_lines(recorder) -> List[str]:
+    """The recorder's full story as one JSON object per line.
+
+    Event lines carry ``{"type": "event", ...}``; sampler rows come as
+    ``{"type": "sample", "ts": ..., "gauges": {...}}``; the final
+    metric values close the log as ``{"type": "metric", ...}`` lines.
+    """
+    lines: List[str] = []
+    for event in recorder.tracer.events:
+        lines.append(json.dumps({"type": "event", **event},
+                                sort_keys=True, default=str))
+    if recorder.sampler is not None:
+        for ts, row in recorder.sampler.samples:
+            lines.append(json.dumps(
+                {"type": "sample", "ts": ts, "gauges": row},
+                sort_keys=True))
+    for name, labels, value in recorder.registry.samples():
+        lines.append(json.dumps(
+            {"type": "metric", "name": name, "labels": dict(labels),
+             "value": value}, sort_keys=True, default=str))
+    return lines
+
+
+def write_jsonl(recorder, path: str) -> str:
+    """Write the recorder's JSONL event log."""
+    with open(path, "w") as fh:
+        for line in jsonl_lines(recorder):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    """Validate Chrome trace files: ``python -m repro.obs.export f.json``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Validate Chrome trace-event JSON files.")
+    parser.add_argument("paths", nargs="+", help="trace files to check")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}")
+            status = 1
+            continue
+        errors = validate_chrome_trace(payload)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            events = len(payload["traceEvents"])
+            print(f"{path}: ok ({events} events)")
+    return status
+
+
+if __name__ == "__main__":      # pragma: no cover
+    raise SystemExit(main())

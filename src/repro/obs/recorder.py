@@ -1,0 +1,88 @@
+"""The flight recorder: one handle bundling registry, tracer, sampler.
+
+Every :class:`~repro.kona.runtime.KonaRuntime` owns a recorder.  By
+default only the metrics registry is live (callable gauges over the
+components' counters — no hot-path cost); constructing with
+``tracing=True`` (or calling :meth:`FlightRecorder.start`) turns on
+span recording, and a ``sample_interval_ns`` adds the periodic gauge
+sampler.  Exports delegate to :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.clock import SimClock
+from . import export
+from .registry import MetricsRegistry
+from .sampler import Sampler
+from .trace import Tracer
+
+
+class FlightRecorder:
+    """Observability bundle for one runtime."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 tracing: bool = False,
+                 sample_interval_ns: Optional[float] = None,
+                 max_events: int = 500_000) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = MetricsRegistry(clock=self.clock)
+        self.tracer = Tracer(self.clock, enabled=tracing,
+                             max_events=max_events)
+        self.sampler: Optional[Sampler] = None
+        if sample_interval_ns is not None:
+            self.sampler = Sampler(self.registry, tracer=self.tracer,
+                                   interval_ns=sample_interval_ns,
+                                   clock=self.clock)
+
+    # -- wiring -------------------------------------------------------------------
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Rebind every component to ``clock`` (the runtime's fabric
+        clock), so timestamps agree no matter which was built first."""
+        self.clock = clock
+        self.registry.clock = clock
+        self.tracer.clock = clock
+        if self.sampler is not None:
+            self.sampler.clock = clock
+
+    @property
+    def enabled(self) -> bool:
+        """Whether span tracing is recording."""
+        return self.tracer.enabled
+
+    def start(self) -> None:
+        """Begin span recording."""
+        self.tracer.enable()
+
+    def stop(self) -> None:
+        """Stop span recording (events are kept for export)."""
+        self.tracer.disable()
+
+    def tick(self) -> None:
+        """Periodic maintenance hook: drives the gauge sampler."""
+        if self.sampler is not None:
+            self.sampler.maybe_sample()
+
+    # -- exports ------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The span timeline as a Chrome trace-event object."""
+        return export.chrome_trace(self.tracer.events)
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Write the Chrome trace JSON; returns the path."""
+        return export.write_chrome_trace(self, path)
+
+    def prometheus_text(self) -> str:
+        """The registry in Prometheus text format."""
+        return export.prometheus_text(self.registry)
+
+    def write_prometheus(self, path: str) -> str:
+        """Write the Prometheus dump; returns the path."""
+        return export.write_prometheus(self, path)
+
+    def write_jsonl(self, path: str) -> str:
+        """Write the JSONL event log; returns the path."""
+        return export.write_jsonl(self, path)

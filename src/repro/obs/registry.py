@@ -1,0 +1,319 @@
+"""A labeled metrics registry: counters, gauges, latency histograms.
+
+The registry is the single read surface for runtime metrics.  Hot
+paths keep incrementing their existing :class:`~repro.common.stats.Counter`
+bags (zero added cost); the registry overlays them with *callable
+gauges* so every reader — telemetry snapshots, the periodic sampler,
+the Prometheus exporter — sees one coherent, labeled namespace instead
+of reaching into ``runtime.counters`` / ``agent.counters`` ad hoc.
+
+Metric families follow the Prometheus data model: a family has a name,
+a help string and a fixed set of label names; ``labels(...)`` returns
+the child for one label-value combination.  Families with no labels
+act as their own single child, so ``registry.counter("x").inc()`` works
+directly.
+
+Histograms are log-bucketed (power-of-two bucket bounds), which gives
+constant-time ``observe`` and good relative error for the latency
+ranges the simulation spans (tens of ns to tens of ms).  Quantiles are
+estimated at the geometric midpoint of the target bucket and clamped
+to the observed min/max, so a single-sample histogram reports that
+sample exactly and an empty one reports ``nan``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..common.clock import SimClock
+from ..common.errors import ConfigError
+
+#: One exported sample: (metric name, ((label, value), ...), value).
+Sample = Tuple[str, Tuple[Tuple[str, str], ...], Any]
+
+
+def _label_key(label_names: Tuple[str, ...],
+               kwargs: Dict[str, str]) -> Tuple[str, ...]:
+    if set(kwargs) != set(label_names):
+        raise ConfigError(
+            f"labels {sorted(kwargs)} do not match declared "
+            f"label names {sorted(label_names)}")
+    return tuple(str(kwargs[name]) for name in label_names)
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ConfigError(f"counter decrement ({amount}) not allowed")
+        self.value += amount
+
+
+class GaugeMetric:
+    """A point-in-time value: settable or backed by a callable."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], Any]] = None) -> None:
+        self._value: Any = 0
+        self._fn = fn
+
+    def set(self, value: Any) -> None:
+        """Set the gauge (only for gauges without a callback)."""
+        if self._fn is not None:
+            raise ConfigError("cannot set a callback-backed gauge")
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        """Current value (calls the callback when one is bound)."""
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class HistogramMetric:
+    """Log-bucketed distribution with cheap quantile estimates.
+
+    Buckets are powers of two: an observation ``v`` falls in the bucket
+    with upper bound ``2**ceil(log2(v))``.  Values ``<= 0`` land in an
+    underflow bucket with bound 0.
+    """
+
+    __slots__ = ("_buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}   # exponent -> count
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @staticmethod
+    def _bucket_of(value: float) -> int:
+        if value <= 0:
+            return -(2 ** 30)   # underflow bucket, sorts first
+        # Smallest e with value <= 2**e.
+        e = math.frexp(value)[1]
+        if value == 2.0 ** (e - 1):   # exact power of two: own bound
+            return e - 1
+        return e
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        b = self._bucket_of(value)
+        self._buckets[b] = self._buckets.get(b, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(upper bound, cumulative count) pairs in increasing order."""
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        for exp in sorted(self._buckets):
+            cumulative += self._buckets[exp]
+            bound = 0.0 if exp <= -(2 ** 29) else 2.0 ** exp
+            out.append((bound, cumulative))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile; ``nan`` for an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for exp in sorted(self._buckets):
+            cumulative += self._buckets[exp]
+            if cumulative >= target:
+                if exp <= -(2 ** 29):
+                    estimate = 0.0
+                else:
+                    upper = 2.0 ** exp
+                    estimate = 0.75 * upper   # midpoint of (upper/2, upper]
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        """Median estimate."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile estimate."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile estimate."""
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (``nan`` when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum / self.count
+
+
+class MetricFamily:
+    """A named metric plus its labeled children."""
+
+    def __init__(self, name: str, kind: str, help: str,
+                 label_names: Tuple[str, ...],
+                 factory: Callable[[], Any]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._factory = factory
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not label_names:
+            self._children[()] = factory()
+
+    def labels(self, **kwargs: str):
+        """The child metric for one label-value combination."""
+        key = _label_key(self.label_names, kwargs)
+        child = self._children.get(key)
+        if child is None:
+            child = self._factory()
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterable[Tuple[Tuple[Tuple[str, str], ...], Any]]:
+        """(labels, child) pairs in insertion order."""
+        for key, child in self._children.items():
+            yield tuple(zip(self.label_names, key)), child
+
+    # Convenience passthroughs for unlabeled families.
+
+    def _sole(self):
+        if self.label_names:
+            raise ConfigError(
+                f"metric {self.name!r} has labels {self.label_names}; "
+                f"use .labels(...)")
+        return self._children[()]
+
+    def inc(self, amount: int = 1) -> None:
+        """Unlabeled counter increment."""
+        self._sole().inc(amount)
+
+    def set(self, value: Any) -> None:
+        """Unlabeled gauge set."""
+        self._sole().set(value)
+
+    def observe(self, value: float) -> None:
+        """Unlabeled histogram observation."""
+        self._sole().observe(value)
+
+    @property
+    def value(self) -> Any:
+        """Unlabeled counter/gauge value."""
+        return self._sole().value
+
+    def __getattr__(self, item: str) -> Any:
+        # Quantile shortcuts etc. on unlabeled histograms.
+        if item.startswith("_"):
+            raise AttributeError(item)
+        return getattr(self._sole(), item)
+
+
+class MetricsRegistry:
+    """All metric families of one runtime, keyed by name.
+
+    Re-registering a name returns the existing family (so components
+    can be rebuilt against a shared registry), but re-registering with
+    a different kind is an error.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, kind: str, help: str,
+                  labels: Tuple[str, ...],
+                  factory: Callable[[], Any]) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {family.kind}")
+            return family
+        family = MetricFamily(name, kind, help, labels, factory)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Tuple[str, ...] = ()) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._register(name, "counter", help, tuple(labels),
+                              CounterMetric)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Tuple[str, ...] = (),
+              fn: Optional[Callable[[], Any]] = None) -> MetricFamily:
+        """Get or create a gauge family (optionally callback-backed)."""
+        return self._register(name, "gauge", help, tuple(labels),
+                              lambda: GaugeMetric(fn))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Tuple[str, ...] = ()) -> MetricFamily:
+        """Get or create a log-bucketed histogram family."""
+        return self._register(name, "histogram", help, tuple(labels),
+                              HistogramMetric)
+
+    def families(self) -> List[MetricFamily]:
+        """All families in registration order."""
+        return list(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self._families.get(name)
+
+    def samples(self) -> List[Sample]:
+        """Flat (name, labels, value) samples for counters and gauges.
+
+        Histograms are skipped here (they are multi-valued); exporters
+        walk them explicitly via :meth:`families`.
+        """
+        out: List[Sample] = []
+        for family in self._families.values():
+            if family.kind == "histogram":
+                continue
+            for labels, child in family.children():
+                out.append((family.name, labels, child.value))
+        return out
+
+    def sections(self) -> Dict[str, Dict[str, Any]]:
+        """Gauge values grouped by dotted-name prefix.
+
+        ``memory.fmem_bytes`` lands in section ``memory`` under key
+        ``fmem_bytes``; this is the shape
+        :class:`~repro.kona.telemetry.TelemetrySnapshot` serves.
+        Sections and keys come back sorted for determinism.
+        """
+        grouped: Dict[str, Dict[str, Any]] = {}
+        for family in self._families.values():
+            if family.kind != "gauge" or "." not in family.name:
+                continue
+            section, key = family.name.split(".", 1)
+            for labels, child in family.children():
+                name = key if not labels else (
+                    key + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}")
+                grouped.setdefault(section, {})[name] = child.value
+        return {section: dict(sorted(grouped[section].items()))
+                for section in sorted(grouped)}

@@ -66,3 +66,20 @@ class TestExecution:
         with pytest.raises(SystemExit):
             main(["bench", "--quick", "--output", str(out_path),
                   "--min-speedup", "1000"])
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(["trace", "--trace-ops", "2000",
+                     "--out", str(trace), "--prom", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace" in out and "MTTR" in out
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "fetch.fill" in names and "evict.page" in names
+        assert prom.read_text().startswith("# ")

@@ -23,6 +23,42 @@ class TestCounter:
         d["x"] = 99
         assert c["x"] == 1
 
+    def test_items_sorted(self):
+        c = Counter()
+        c.add("zeta", 2)
+        c.add("alpha", 1)
+        c.add("mid", 3)
+        assert c.items() == [("alpha", 1), ("mid", 3), ("zeta", 2)]
+
+    def test_merge_sums_overlapping_names(self):
+        a, b = Counter(), Counter()
+        a.add("hits", 3)
+        a.add("only_a", 1)
+        b.add("hits", 4)
+        b.add("only_b", 2)
+        assert a.merge(b) is a
+        assert a["hits"] == 7
+        assert a["only_a"] == 1
+        assert a["only_b"] == 2
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = Counter(), Counter()
+        b.add("hits", 4)
+        a.merge(b)
+        a.add("hits")
+        assert b["hits"] == 4
+
+    def test_merge_chain_aggregates_workers(self):
+        workers = []
+        for i in range(3):
+            c = Counter()
+            c.add("accesses", 100 + i)
+            workers.append(c)
+        total = Counter()
+        for c in workers:
+            total.merge(c)
+        assert total["accesses"] == 303
+
 
 class TestCDF:
     def test_from_samples_basic(self):

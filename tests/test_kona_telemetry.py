@@ -3,14 +3,17 @@
 import pytest
 
 import repro.common.units as u
+from repro.common.errors import ConfigError
 from repro.kona import snapshot
+from repro.kona.telemetry import TelemetrySnapshot
 
 
 class TestTelemetry:
     def test_sections_present(self, runtime):
         snap = snapshot(runtime)
         assert set(snap.data) == {"memory", "fetch", "tracking",
-                                  "eviction", "faults", "health", "network"}
+                                  "eviction", "faults", "health", "network",
+                                  "coherence"}
 
     def test_health_section_starts_clean(self, runtime):
         health = snapshot(runtime).data["health"]
@@ -33,6 +36,28 @@ class TestTelemetry:
         flat = snapshot(runtime).flat()
         assert "memory.fmem_bytes" in flat
         assert "eviction.dirty_bytes" in flat
+
+    def test_flat_order_is_deterministic(self, runtime):
+        flat = snapshot(runtime).flat()
+        assert list(flat) == sorted(flat)
+
+    def test_flat_rejects_dotted_key_collision(self):
+        snap = TelemetrySnapshot(data={"a": {"b.c": 1}, "a.b": {"c": 2}})
+        with pytest.raises(ConfigError):
+            snap.flat()
+
+    def test_coherence_section_tracks_directory(self, runtime):
+        region = runtime.mmap(1 * u.MB)
+        runtime.write(region.start)
+        coherence = snapshot(runtime).data["coherence"]
+        assert coherence["get_m"] >= 1
+
+    def test_snapshot_is_live_registry_view(self, runtime):
+        region = runtime.mmap(1 * u.MB)
+        before = snapshot(runtime).data["fetch"]["remote_fetches"]
+        runtime.read(region.start)
+        after = snapshot(runtime).data["fetch"]["remote_fetches"]
+        assert after > before
 
     def test_render_is_readable(self, runtime):
         text = snapshot(runtime).render()

@@ -12,7 +12,7 @@ import pathlib
 import repro
 
 SUBSTRATES = {"mem", "cache", "coherence", "net", "vm", "cluster",
-              "fpga", "common"}
+              "fpga", "common", "obs"}
 UPPER_LAYERS = {"kona", "baselines", "tools", "experiments", "apps",
                 "workloads", "analysis", "cli", "chaos"}
 

@@ -1,0 +1,171 @@
+"""Tests for the labeled metrics registry and histogram math."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.obs.export import prometheus_text
+from repro.obs.registry import HistogramMetric
+
+
+class TestCountersAndGauges:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops", "operations")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_decrement(self):
+        c = MetricsRegistry().counter("ops")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(17)
+        assert g.value == 17
+
+    def test_callback_gauge_reads_live(self):
+        state = {"v": 1}
+        g = MetricsRegistry().gauge("live", fn=lambda: state["v"])
+        assert g.value == 1
+        state["v"] = 9
+        assert g.value == 9
+
+    def test_callback_gauge_rejects_set(self):
+        g = MetricsRegistry().gauge("live", fn=lambda: 0)
+        with pytest.raises(ConfigError):
+            g.set(3)
+
+    def test_reregister_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops")
+        a.inc(3)
+        b = reg.counter("ops")
+        assert b is a
+        assert b.value == 3
+
+    def test_reregister_different_kind_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("ops")
+        with pytest.raises(ConfigError):
+            reg.gauge("ops")
+
+
+class TestLabels:
+    def test_labeled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("transfers", labels=("node",))
+        fam.labels(node="mem0").inc(2)
+        fam.labels(node="mem1").inc(5)
+        assert fam.labels(node="mem0").value == 2
+        assert fam.labels(node="mem1").value == 5
+
+    def test_wrong_label_names_raise(self):
+        fam = MetricsRegistry().counter("transfers", labels=("node",))
+        with pytest.raises(ConfigError):
+            fam.labels(link="a")
+
+    def test_labeled_family_rejects_bare_inc(self):
+        fam = MetricsRegistry().counter("transfers", labels=("node",))
+        with pytest.raises(ConfigError):
+            fam.inc()
+
+    def test_samples_include_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("transfers", labels=("node",)).labels(node="m0").inc()
+        samples = reg.samples()
+        assert ("transfers", (("node", "m0"),), 1) in samples
+
+
+class TestSections:
+    def test_sections_group_dotted_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("memory.fmem_bytes", fn=lambda: 42)
+        reg.gauge("memory.vfmem_bytes", fn=lambda: 7)
+        reg.gauge("health.state", fn=lambda: "HEALTHY")
+        sections = reg.sections()
+        assert sections == {"health": {"state": "HEALTHY"},
+                            "memory": {"fmem_bytes": 42, "vfmem_bytes": 7}}
+
+    def test_undotted_gauges_stay_out_of_sections(self):
+        reg = MetricsRegistry()
+        reg.gauge("loose")
+        assert reg.sections() == {}
+
+
+class TestHistogram:
+    def test_empty_histogram_quantile_is_nan(self):
+        h = HistogramMetric()
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+
+    def test_single_sample_is_exact(self):
+        h = HistogramMetric()
+        h.observe(137.0)
+        # Clamping to [min, max] makes a one-sample histogram exact.
+        assert h.p50 == 137.0
+        assert h.p99 == 137.0
+        assert h.mean == 137.0
+
+    def test_quantile_orders(self):
+        h = HistogramMetric()
+        for v in [10.0] * 90 + [10_000.0] * 10:
+            h.observe(v)
+        assert h.p50 <= h.p95 <= h.p99
+        assert h.p50 < 100.0          # the low mode
+        assert h.p99 >= 4_096.0       # reaches the high mode's bucket
+
+    def test_quantile_estimate_within_bucket(self):
+        h = HistogramMetric()
+        for v in (100.0, 110.0, 120.0, 130.0):
+            h.observe(v)
+        # All samples share the (64, 128] bucket: estimate must land
+        # inside the observed range.
+        assert 100.0 <= h.p50 <= 130.0
+
+    def test_nonpositive_values_underflow_bucket(self):
+        h = HistogramMetric()
+        h.observe(0.0)
+        h.observe(-5.0)
+        h.observe(8.0)
+        assert h.count == 3
+        assert h.buckets()[0][0] == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ConfigError):
+            HistogramMetric().quantile(1.5)
+
+    def test_power_of_two_on_own_bound(self):
+        # 64.0 must land in the bucket bounded by 64, not 128.
+        assert HistogramMetric._bucket_of(64.0) == 6
+        assert HistogramMetric._bucket_of(65.0) == 7
+
+
+class TestPrometheusExport:
+    def test_text_format_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("kona.fetches", "remote fetches").inc(3)
+        reg.gauge("memory.occupancy", fn=lambda: 0.5)
+        text = prometheus_text(reg)
+        assert "kona_fetches_total 3" in text
+        assert "memory_occupancy 0.5" in text
+
+    def test_string_gauge_becomes_info(self):
+        reg = MetricsRegistry()
+        reg.gauge("health.state", fn=lambda: "HEALTHY")
+        text = prometheus_text(reg)
+        assert 'health_state_info{value="HEALTHY"} 1' in text
+
+    def test_histogram_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("stall_ns")
+        h.observe(100.0)
+        h.observe(200.0)
+        text = prometheus_text(reg)
+        assert 'stall_ns_bucket{le="+Inf"} 2' in text
+        assert "stall_ns_sum 300" in text
+        assert "stall_ns_count 2" in text

@@ -1,0 +1,164 @@
+"""Tests for the sim-clock span tracer and periodic sampler."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.obs import MetricsRegistry, Sampler, Tracer
+from repro.obs.trace import NULL_SPAN, traced
+
+
+class TestDisabledTracer:
+    def test_span_is_shared_null_singleton(self):
+        tracer = Tracer(SimClock(), enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y") is NULL_SPAN
+
+    def test_nothing_recorded(self):
+        tracer = Tracer(SimClock(), enabled=False)
+        with tracer.span("x"):
+            tracer.emit("child", 100.0)
+            tracer.instant("mark")
+            tracer.counter("c", value=1)
+        assert tracer.events == []
+
+    def test_null_span_api_is_noop(self):
+        span = NULL_SPAN
+        span.extend(50.0)
+        span.set(foo=1)
+
+
+class TestSpans:
+    def test_span_follows_the_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock, enabled=True)
+        clock.advance(100.0)
+        with tracer.span("work", "cat", page=3):
+            clock.advance(40.0)
+        [event] = tracer.events
+        assert event["ph"] == "X"
+        assert event["ts"] == 100.0
+        assert event["dur"] == 40.0
+        assert event["args"] == {"page": 3}
+
+    def test_extend_charges_invisible_time(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        with tracer.span("work") as span:
+            span.extend(250.0)
+        assert tracer.events[0]["dur"] == 250.0
+
+    def test_children_lay_out_sequentially(self):
+        # The clock never moves: the cursor must still order children.
+        tracer = Tracer(SimClock(), enabled=True)
+        with tracer.span("parent"):
+            tracer.emit("a", 100.0)
+            tracer.emit("b", 50.0)
+        a, b, parent = tracer.events
+        assert a["ts"] == 0.0 and a["dur"] == 100.0
+        assert b["ts"] == 100.0 and b["dur"] == 50.0
+        assert parent["name"] == "parent"
+        assert parent["dur"] == 150.0   # children advanced the cursor
+
+    def test_nested_spans_nest_on_the_timeline(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        with tracer.span("outer") as outer:
+            outer.extend(10.0)
+            with tracer.span("inner"):
+                tracer.emit("leaf", 30.0)
+        leaf, inner, outer_ev = tracer.events
+        assert inner["ts"] >= outer_ev["ts"]
+        assert inner["dur"] == 30.0
+        assert outer_ev["dur"] >= inner["dur"]
+
+    def test_sequential_roots_do_not_overlap(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        with tracer.span("first") as s:
+            s.extend(100.0)
+        with tracer.span("second") as s:
+            s.extend(100.0)
+        first, second = tracer.events
+        assert second["ts"] >= first["ts"] + first["dur"]
+
+    def test_instant_and_counter_events(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        tracer.instant("health.DEGRADED", "health", reason="kill")
+        tracer.counter("occupancy", value=0.5)
+        instant, counter = tracer.events
+        assert instant["ph"] == "i"
+        assert instant["args"]["reason"] == "kill"
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"value": 0.5}
+
+    def test_max_events_drops_not_grows(self):
+        tracer = Tracer(SimClock(), enabled=True, max_events=3)
+        for _ in range(10):
+            tracer.instant("tick")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+
+    def test_clear_resets(self):
+        tracer = Tracer(SimClock(), enabled=True, max_events=1)
+        tracer.instant("a")
+        tracer.instant("b")
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped == 0
+
+
+class TestTracedDecorator:
+    class Widget:
+        def __init__(self, tracer):
+            self.tracer = tracer
+
+        @traced("widget.work", cat="test")
+        def work(self):
+            """Do traced work."""
+            return 42
+
+    def test_runs_without_tracer(self):
+        widget = self.Widget(None)
+        assert widget.work() == 42
+
+    def test_records_span_when_enabled(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        widget = self.Widget(tracer)
+        assert widget.work() == 42
+        assert tracer.events[0]["name"] == "widget.work"
+
+    def test_silent_when_disabled(self):
+        tracer = Tracer(SimClock(), enabled=False)
+        widget = self.Widget(tracer)
+        widget.work()
+        assert tracer.events == []
+
+
+class TestSampler:
+    def test_interval_gating(self):
+        clock = SimClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.gauge("memory.depth", fn=lambda: 1)
+        sampler = Sampler(reg, interval_ns=100.0, clock=clock)
+        assert sampler.maybe_sample() is True    # t=0 fires
+        assert sampler.maybe_sample() is False   # not due yet
+        clock.advance(100.0)
+        assert sampler.maybe_sample() is True
+        assert len(sampler.samples) == 2
+
+    def test_rows_hold_numeric_gauges_only(self):
+        reg = MetricsRegistry()
+        reg.gauge("memory.depth", fn=lambda: 3)
+        reg.gauge("health.state", fn=lambda: "HEALTHY")
+        row = Sampler(reg, interval_ns=1.0).sample()
+        assert row == {"memory.depth": 3.0}
+
+    def test_emits_counter_events_to_tracer(self):
+        clock = SimClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.gauge("memory.depth", fn=lambda: 3)
+        tracer = Tracer(clock, enabled=True)
+        Sampler(reg, tracer=tracer, interval_ns=1.0, clock=clock).sample()
+        assert tracer.events[0]["ph"] == "C"
+        assert tracer.events[0]["name"] == "memory.depth"
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            Sampler(MetricsRegistry(), interval_ns=0.0)
