@@ -72,6 +72,10 @@ class SetAssociativeCache:
         self._lines: List[Dict[int, bool]] = [{} for _ in range(num_sets)]
         self._policies: List[ReplacementPolicy] = [
             make_policy(policy) for _ in range(num_sets)]
+        # Resident-block count, maintained incrementally: occupancy is
+        # polled on hot paths (watermark checks every 256 accesses) and
+        # summing thousands of set dicts there is measurable.
+        self._occupied = 0
         self.stats = CacheStats()
 
     # -- geometry helpers -----------------------------------------------------
@@ -115,6 +119,8 @@ class SetAssociativeCache:
             if dirty:
                 self.stats.dirty_writebacks += 1
             eviction = Eviction(block_addr=victim * self.block_size, dirty=dirty)
+        else:
+            self._occupied += 1
         lines[tag] = is_write
         policy.insert(tag)
         return False, eviction
@@ -141,6 +147,7 @@ class SetAssociativeCache:
             return None
         dirty = lines.pop(tag)
         self._policies[set_idx].remove(tag)
+        self._occupied -= 1
         return Eviction(block_addr=tag * self.block_size, dirty=dirty)
 
     def clean(self, addr: int) -> bool:
@@ -154,8 +161,8 @@ class SetAssociativeCache:
 
     @property
     def occupancy(self) -> int:
-        """Number of resident blocks."""
-        return sum(len(s) for s in self._lines)
+        """Number of resident blocks (O(1); incrementally maintained)."""
+        return self._occupied
 
     def resident_blocks(self) -> List[int]:
         """Sorted byte addresses of all resident blocks."""

@@ -10,7 +10,8 @@ Usage::
     python -m repro sections
     python -m repro chaos [--seed 0] [--ops 30000]
     python -m repro sweep [--processes N] [--ops 40000]
-    python -m repro bench [--quick] [--min-speedup 1.0] [--output FILE]
+    python -m repro bench [--suite kcachesim|runtime] [--quick]
+                          [--min-speedup 1.0] [--output FILE]
     python -m repro trace [--out trace.json] [--prom FILE] [--jsonl FILE]
     python -m repro all
 
@@ -42,7 +43,14 @@ from .experiments import (
     run_sec63_tracker_overhead,
     run_table2,
 )
-from .experiments.bench import check_speedup, run_bench, write_bench
+from .experiments.bench import (
+    BENCH_FILENAME,
+    RUNTIME_BENCH_FILENAME,
+    check_speedup,
+    run_bench,
+    run_runtime_bench,
+    write_bench,
+)
 from .experiments.fig8 import SYSTEMS, best_block
 from .experiments.flight import instant_summary, run_flight, span_summary
 from .experiments.sweep import run_sweep, sweep_grid
@@ -211,15 +219,24 @@ def cmd_sweep(args: argparse.Namespace) -> None:
 
 
 def cmd_bench(args: argparse.Namespace) -> None:
-    """Benchmark the scalar vs vectorized trace engines."""
-    payload = run_bench(quick=args.quick)
+    """Benchmark the scalar vs vectorized/batched engines."""
+    if args.suite == "runtime":
+        payload = run_runtime_bench(quick=args.quick)
+        fast_label = "batched"
+    else:
+        payload = run_bench(quick=args.quick)
+        fast_label = "vectorized"
     for case in payload["cases"]:
         print(f"{case['workload']:>18s}  {case['num_accesses']:>9,} accesses  "
               f"scalar {case['scalar']['seconds']:.3f}s  "
-              f"vectorized {case['vectorized']['seconds']:.3f}s  "
+              f"{fast_label} {case[fast_label]['seconds']:.3f}s  "
               f"speedup {case['speedup']:.1f}x  "
               f"counters {'ok' if case['counters_match'] else 'MISMATCH'}")
-    path = write_bench(payload, args.output)
+    output = args.output
+    if output is None:
+        output = (RUNTIME_BENCH_FILENAME if args.suite == "runtime"
+                  else BENCH_FILENAME)
+    path = write_bench(payload, output)
     print(f"\ncanonical speedup: {payload['canonical_speedup']:.1f}x "
           f"({payload['canonical_workload']}); report: {path}")
     if args.min_speedup is not None:
@@ -329,11 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: cpu count)")
     parser.add_argument("--quick", action="store_true",
                         help="bench: small trace, fewer repeats")
+    parser.add_argument("--suite", choices=["kcachesim", "runtime"],
+                        default="kcachesim",
+                        help="bench: kcachesim hierarchy engines or the "
+                             "end-to-end runtime engines (run_trace)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="bench: fail unless the canonical case "
                              "reaches this speedup")
-    parser.add_argument("--output", default="BENCH_kcachesim.json",
-                        help="bench: report output path")
+    parser.add_argument("--output", default=None,
+                        help="bench: report output path (default depends "
+                             "on --suite)")
     parser.add_argument("--out", default="trace.json",
                         help="trace: Chrome trace-event JSON output path")
     parser.add_argument("--trace-ops", type=int, default=8_000,

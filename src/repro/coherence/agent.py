@@ -148,9 +148,14 @@ class CoherentCache:
     def flush_tracked(self) -> int:
         """Write back and drop every tracked line (barrier/teardown path).
 
-        Returns the number of modified lines written back.
+        Clean lines are dropped immediately; dirty lines are collected
+        (in flush order) and retired through the directory's batched
+        writeback drain, which bulk-marks the dirty bitmap.  Ordering
+        between the two is unobservable — PutClean emits no events and
+        every line is retired exactly once.  Returns the number of
+        modified lines written back.
         """
-        written_back = 0
+        pending: Dict[Directory, List[int]] = {}
         for lines in self._sets:
             for line_addr in list(lines):
                 directory = self._resolver(line_addr)
@@ -158,10 +163,13 @@ class CoherentCache:
                     continue
                 state = lines.pop(line_addr)
                 if state.dirty:
-                    directory.put_modified(line_addr, self.agent_id)
-                    written_back += 1
+                    pending.setdefault(directory, []).append(line_addr)
                 else:
                     directory.put_clean(line_addr, self.agent_id)
+        written_back = 0
+        for directory, dirty_lines in pending.items():
+            directory.put_modified_many(dirty_lines, self.agent_id)
+            written_back += len(dirty_lines)
         self.counters.add("flushes")
         return written_back
 

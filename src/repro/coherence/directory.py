@@ -26,7 +26,7 @@ property-based tests can hammer the protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..common import units
 from ..common.errors import CoherenceError
@@ -36,6 +36,7 @@ from .states import CoherenceEvent, EventKind, LineState, Protocol
 
 
 Observer = Callable[[CoherenceEvent], None]
+BatchObserver = Callable[[List[CoherenceEvent]], None]
 #: invalidate(line) -> was_dirty; downgrade(line) -> was_dirty.
 AgentCallbacks = Tuple[Callable[[int], bool], Optional[Callable[[int], bool]]]
 
@@ -80,14 +81,23 @@ class Directory:
         self.protocol = protocol
         self._entries: Dict[int, DirectoryEntry] = {}
         self._observers: List[Observer] = []
+        self._batch_observers: List[Optional[BatchObserver]] = []
         self.counters = Counter()
         self._agents: Dict[int, AgentCallbacks] = {}
 
     # -- wiring ----------------------------------------------------------------
 
-    def subscribe(self, observer: Observer) -> None:
-        """Register an event observer (the Kona runtime's primitives)."""
+    def subscribe(self, observer: Observer,
+                  on_batch: Optional["BatchObserver"] = None) -> None:
+        """Register an event observer (the Kona runtime's primitives).
+
+        ``on_batch``, when given, receives whole event lists from the
+        batched writeback drain (:meth:`put_modified_many`) instead of
+        one call per event; observers without it see the same events
+        individually, in order.
+        """
         self._observers.append(observer)
+        self._batch_observers.append(on_batch)
 
     def register_agent(self, agent_id: int,
                        invalidate: Callable[[int], bool],
@@ -105,6 +115,15 @@ class Directory:
     def _emit(self, event: CoherenceEvent) -> None:
         for observer in self._observers:
             observer(event)
+
+    def _emit_batch(self, events: List[CoherenceEvent]) -> None:
+        for observer, on_batch in zip(self._observers,
+                                      self._batch_observers):
+            if on_batch is not None:
+                on_batch(events)
+            else:
+                for event in events:
+                    observer(event)
 
     def _entry(self, line_addr: int) -> DirectoryEntry:
         self._check_home(line_addr)
@@ -217,8 +236,33 @@ class Directory:
 
         This is the event stream Kona's Dirty Data Tracker feeds on.
         """
-        entry = self._entry(line_addr)
         self.counters.add("put_m")
+        self._apply_put_modified(line_addr, agent_id)
+        self._emit(CoherenceEvent(EventKind.DIRTY_WRITEBACK, line_addr,
+                                  is_write=True))
+
+    def put_modified_many(self, line_addrs: Sequence[int],
+                          agent_id: int) -> None:
+        """Batched PutM drain: many dirty evictions, one notification.
+
+        Per-line directory transitions are identical to
+        :meth:`put_modified`; the resulting DIRTY_WRITEBACK events go
+        out as one list to batch-aware observers (the memory agent's
+        bulk bitmap marking) and one at a time, in order, to everyone
+        else.  Used by cache flush paths that retire many dirty lines
+        at once.
+        """
+        if not line_addrs:
+            return
+        for line_addr in line_addrs:
+            self._apply_put_modified(line_addr, agent_id)
+        self.counters.add("put_m", len(line_addrs))
+        self._emit_batch([CoherenceEvent(EventKind.DIRTY_WRITEBACK, addr,
+                                         is_write=True)
+                          for addr in line_addrs])
+
+    def _apply_put_modified(self, line_addr: int, agent_id: int) -> None:
+        entry = self._entry(line_addr)
         # EXCLUSIVE is legal here: MESI/MOESI let the owner upgrade
         # E->M silently, so the directory first learns of the
         # modification when the dirty line comes back.
@@ -239,8 +283,6 @@ class Directory:
             entry.owner = None
             entry.sharers = set()
         entry.check_invariants()
-        self._emit(CoherenceEvent(EventKind.DIRTY_WRITEBACK, line_addr,
-                                  is_write=True))
 
     def put_clean(self, line_addr: int, agent_id: int) -> None:
         """PutE/PutS: agent drops a clean line (no data transfer)."""

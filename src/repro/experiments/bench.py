@@ -32,12 +32,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cache.hierarchy import CacheHierarchy, DEFAULT_CPU_LEVELS, dram_cache_spec
+from ..common import units
 from ..common.errors import SimulationError
 from ..tools.kcachesim import _round_capacity
 from ..workloads.amat import AMAT_SPECS, generate_exact_accesses
 
-#: Default report filename.
+#: Default report filename (kcachesim suite).
 BENCH_FILENAME = "BENCH_kcachesim.json"
+
+#: Default report filename (end-to-end runtime suite).
+RUNTIME_BENCH_FILENAME = "BENCH_runtime.json"
 
 
 def _git_sha() -> Optional[str]:
@@ -178,6 +182,228 @@ def run_bench(quick: bool = False,
         "quick": quick,
         "methodology": ("best-of-N wall time per engine on identical "
                         "traces; per-level counters verified equal"),
+        "host": host_metadata(),
+        "created_unix": int(time.time()),
+        "cases": case_results,
+        "canonical_workload": canonical["workload"],
+        "canonical_speedup": canonical["speedup"],
+    }
+
+
+# -- the end-to-end runtime suite (scalar vs batched run_trace) ----------------
+
+
+@dataclass(frozen=True)
+class RuntimeBenchCase:
+    """One end-to-end benchmark configuration (full Kona stack).
+
+    ``workload`` is either a :data:`~repro.workloads.WORKLOADS` model
+    name or the synthetic ``"hot-mix"``: uniform reuse over a hot set
+    of ``hot_lines`` cache lines with a ``cold_fraction`` chance per
+    access of touching a cold line anywhere in the region — the
+    cache-hit/data-access mix :mod:`repro.workloads.amat` derives from
+    the paper's AMAT model (hundreds of hot accesses per data access).
+    Hot-mix runs prefill the hot set with an untimed warmup sweep so
+    the timed section measures steady state, not cold fills.
+    """
+
+    workload: str
+    num_accesses: int
+    windows: int = 4
+    seed: int = 7
+    fmem_mb: int = 64
+    vfmem_mb: int = 256
+    app_ns: float = 70.0
+    hot_lines: int = 16384            # 1 MiB hot working set
+    cold_fraction: float = 0.002      # ~1 data access per 500 hot hits
+    region_mb: int = 192
+    write_fraction: float = 0.3
+
+
+#: The acceptance case: hot-set reuse, so the CPU coherent cache —
+#: the layer the batched engine vectorizes — carries most accesses,
+#: with enough cold misses to keep the whole FMem stack live.
+RUNTIME_CANONICAL_CASE = RuntimeBenchCase("hot-mix", 1_000_000)
+
+#: Secondary coverage: real workload models at miss-heavy ratios (the
+#: adaptive engine's scalar-escape path) with an FMem small enough to
+#: drive the eviction/writeback machinery.
+RUNTIME_EXTRA_CASES = (
+    RuntimeBenchCase("page-rank", 150_000, fmem_mb=8),
+    RuntimeBenchCase("voltdb-tpcc", 150_000, fmem_mb=8),
+)
+
+RUNTIME_QUICK_CASES = (RuntimeBenchCase("hot-mix", 150_000),)
+
+
+def _build_runtime(case: RuntimeBenchCase):
+    from ..kona.config import KonaConfig
+    from ..kona.runtime import KonaRuntime
+    cfg = KonaConfig(fmem_capacity=case.fmem_mb * units.MB,
+                     vfmem_capacity=case.vfmem_mb * units.MB,
+                     slab_bytes=16 * units.MB)
+    return KonaRuntime(cfg, app_ns_per_access=case.app_ns)
+
+
+def _case_trace(case: RuntimeBenchCase):
+    """Build the (warmup, timed) traces for a case, zero-based.
+
+    Returns ``(warm_addrs, warm_writes, addrs, writes, mem_bytes, n)``;
+    the caller rebases addresses onto the mapped region.  Warmup is
+    ``None`` for workload-model cases (their interest *is* the cold
+    fill/eviction path).
+    """
+    if case.workload == "hot-mix":
+        region_bytes = case.region_mb * units.MB
+        n = case.num_accesses
+        rng = np.random.default_rng(case.seed)
+        lines = rng.integers(0, case.hot_lines, size=n, dtype=np.int64)
+        cold = rng.random(n) < case.cold_fraction
+        lines[cold] = rng.integers(case.hot_lines,
+                                   region_bytes // units.CACHE_LINE,
+                                   size=int(cold.sum()), dtype=np.int64)
+        addrs = lines * units.CACHE_LINE
+        writes = rng.random(n) < case.write_fraction
+        warm_addrs = np.arange(case.hot_lines, dtype=np.int64) \
+            * units.CACHE_LINE
+        warm_writes = np.zeros(case.hot_lines, dtype=bool)
+        return warm_addrs, warm_writes, addrs, writes, region_bytes, n
+    from ..workloads import WORKLOADS
+    model = WORKLOADS[case.workload]()
+    trace = model.generate(windows=case.windows, seed=case.seed)
+    n = min(case.num_accesses, len(trace))
+    addrs = trace.addrs[:n].astype(np.int64)
+    return None, None, addrs, trace.writes[:n], model.memory_bytes, n
+
+
+def runtime_fingerprint(rt, report) -> Dict[str, object]:
+    """Everything observable after a ``run_trace``: the report fields,
+    every layer's counters, the dirty bitmap and the time accounting.
+
+    Two engines must produce *equal* fingerprints — the differential
+    tests and this suite's counter verification both compare these.
+    """
+    bitmap = rt.agent.bitmap
+    ev = rt.eviction.stats
+    return {
+        "accesses": report.accesses,
+        "elapsed_ns": report.elapsed_ns,
+        "background_ns": report.background_ns,
+        "bytes_fetched": report.bytes_fetched,
+        "bytes_written_back": report.bytes_written_back,
+        "runtime": rt.counters.as_dict(),
+        "cpu_cache": rt.cpu_cache.counters.as_dict(),
+        "agent": rt.agent.counters.as_dict(),
+        "directory": rt.agent.directory.counters.as_dict(),
+        "fmem": rt.fmem.counters.as_dict(),
+        "fabric": rt.fabric.counters.as_dict(),
+        "bitmap": {page: bitmap.page_mask(page)
+                   for page in sorted(bitmap.dirty_pages())},
+        "bitmap_counters": bitmap.counters.as_dict(),
+        "eviction": {"pages_evicted": ev.pages_evicted,
+                     "clean_pages": ev.clean_pages,
+                     "full_page_writes": ev.full_page_writes,
+                     "lines_logged": ev.lines_logged,
+                     "dirty_bytes": ev.dirty_bytes,
+                     "wire_bytes": ev.wire_bytes,
+                     "elapsed_ns": ev.elapsed_ns},
+        "account": rt.account.as_dict(),
+    }
+
+
+def _fingerprint_diff(a: Dict[str, object], b: Dict[str, object]) -> str:
+    """Human-readable summary of which fingerprint sections diverged."""
+    parts = []
+    for key in a:
+        if a[key] != b[key]:
+            parts.append(f"{key}: scalar={a[key]!r} batched={b[key]!r}")
+    return "; ".join(parts) or "<no differing section?>"
+
+
+def run_runtime_case(case: RuntimeBenchCase, scalar_runs: int = 2,
+                     batched_runs: int = 3) -> Dict[str, object]:
+    """Time both run_trace engines end to end; verify identical state.
+
+    Every run gets a freshly built runtime (the engines must not share
+    warmed state); runs are interleaved for the same reason as the
+    kcachesim suite.  Hot-mix cases run an untimed warmup sweep before
+    the timed trace (both engines, identically).  A fingerprint
+    mismatch — any counter, the dirty bitmap, or the report's
+    elapsed_ns — fails the benchmark.
+    """
+    warm_addrs, warm_writes, addrs0, writes, mem_bytes, n = _case_trace(case)
+    runs = {"scalar": max(scalar_runs, 1), "batched": max(batched_runs, 1)}
+    timings: Dict[str, float] = {e: float("inf") for e in runs}
+    fingerprints: Dict[str, Dict[str, object]] = {}
+    schedule = [engine
+                for i in range(max(runs.values()))
+                for engine in ("scalar", "batched") if i < runs[engine]]
+    for engine in schedule:
+        rt = _build_runtime(case)
+        region = rt.mmap(mem_bytes)
+        base = np.int64(region.start)
+        if warm_addrs is not None:
+            rt.run_trace(warm_addrs + base, warm_writes, engine=engine)
+        addrs = addrs0 + base
+        t0 = time.perf_counter()
+        report = rt.run_trace(addrs, writes, engine=engine)
+        timings[engine] = min(timings[engine], time.perf_counter() - t0)
+        fingerprints[engine] = runtime_fingerprint(rt, report)
+
+    if fingerprints["scalar"] != fingerprints["batched"]:
+        raise SimulationError(
+            f"engine mismatch on {case.workload}: "
+            + _fingerprint_diff(fingerprints["scalar"],
+                                fingerprints["batched"]))
+    fp = fingerprints["scalar"]
+    hits = fp["runtime"].get("cache_hits", 0)
+    timed = fp["runtime"].get("cache_hits", 0) \
+        + fp["runtime"].get("cache_misses", 0)
+    return {
+        "workload": case.workload,
+        "num_accesses": n,
+        "warmup_accesses": 0 if warm_addrs is None else int(warm_addrs.size),
+        "windows": case.windows,
+        "seed": case.seed,
+        "fmem_mb": case.fmem_mb,
+        "vfmem_mb": case.vfmem_mb,
+        "scalar": {"seconds": timings["scalar"], "runs": runs["scalar"],
+                   "maccesses_per_s": n / timings["scalar"] / 1e6},
+        "batched": {"seconds": timings["batched"], "runs": runs["batched"],
+                    "maccesses_per_s": n / timings["batched"] / 1e6},
+        "speedup": timings["scalar"] / timings["batched"],
+        "counters_match": True,
+        "cpu_hit_ratio": round(hits / timed, 4) if timed else 0.0,
+        "remote_fetches": fp["agent"].get("remote_fetches", 0),
+        "pages_evicted": fp["eviction"]["pages_evicted"],
+        "elapsed_ns": fp["elapsed_ns"],
+    }
+
+
+def run_runtime_bench(quick: bool = False,
+                      cases: Optional[Sequence[RuntimeBenchCase]] = None
+                      ) -> Dict[str, object]:
+    """Run the end-to-end runtime suite; returns the report payload."""
+    if cases is None:
+        cases = (RUNTIME_QUICK_CASES if quick
+                 else (RUNTIME_CANONICAL_CASE, *RUNTIME_EXTRA_CASES))
+    scalar_runs = 1 if quick else 2
+    batched_runs = 2 if quick else 3
+    case_results = [run_runtime_case(c, scalar_runs, batched_runs)
+                    for c in cases]
+    canonical = next(
+        (c for c in case_results
+         if c["workload"] == RUNTIME_CANONICAL_CASE.workload),
+        case_results[0])
+    return {
+        "benchmark": "kona-runtime-engine-bench",
+        "version": 1,
+        "quick": quick,
+        "methodology": ("best-of-N wall time per run_trace engine on "
+                        "identical traces, fresh runtime per run, "
+                        "untimed hot-set warmup where the case defines "
+                        "one; full cross-layer state fingerprints "
+                        "verified equal"),
         "host": host_metadata(),
         "created_unix": int(time.time()),
         "cases": case_results,

@@ -75,7 +75,8 @@ class MemoryAgent:
         self.latency = latency
         self.config = config if config is not None else AgentConfig()
         self.directory = Directory(vfmem, protocol=protocol)
-        self.directory.subscribe(self._on_event)
+        self.directory.subscribe(self._on_event,
+                                 on_batch=self._on_event_batch)
         self.bitmap = DirtyBitmap(page_size=fmem.page_size)
         self.account = Account()
         self.counters = Counter()
@@ -148,6 +149,26 @@ class MemoryAgent:
             self.bitmap.mark_line(event.line_addr)
             self.counters.add("lines_snooped")
             self._last_access_ns = self.latency.snoop_ns
+
+    def _on_event_batch(self, events: List[CoherenceEvent]) -> None:
+        """Bulk handler for the directory's batched writeback drain.
+
+        ``put_modified_many`` only batches DIRTY_WRITEBACK events, which
+        lets tracking take the bulk bitmap path; anything else falls
+        back to the per-event handler.
+        """
+        if any(e.kind is not EventKind.DIRTY_WRITEBACK for e in events):
+            for event in events:
+                self._on_event(event)
+            return
+        self.bitmap.mark_lines([e.line_addr for e in events])
+        self.counters.add("writebacks_tracked", len(events))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            for event in events:
+                tracer.instant("coherence.writeback", "coherence",
+                               line=event.line_addr)
+        self._last_access_ns = 0.0   # off the critical path
 
     def _serve_fill(self, line_addr: int) -> float:
         """Serve a CPU line request from FMem or remote memory."""

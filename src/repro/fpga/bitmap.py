@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
+import numpy as np
+
 from ..common import units
 from ..common.errors import AddressError
 from ..common.stats import Counter
@@ -32,10 +34,39 @@ class DirtyBitmap:
         """Set the dirty bit for the line at byte address ``line_addr``."""
         if line_addr % units.CACHE_LINE:
             raise AddressError(f"{line_addr:#x} not line aligned")
-        page = line_addr // self.page_size
-        bit = (line_addr % self.page_size) // units.CACHE_LINE
-        self._masks[page] = self._masks.get(page, 0) | (1 << bit)
+        page, offset = divmod(line_addr, self.page_size)
+        bit = 1 << (offset // units.CACHE_LINE)
+        # setdefault resolves lookup and first-touch insert in one dict
+        # operation; the second store only happens when the bit is new.
+        prev = self._masks.setdefault(page, bit)
+        if not prev & bit:
+            self._masks[page] = prev | bit
         self.counters.add("lines_marked")
+
+    def mark_lines(self, line_addrs) -> None:
+        """Bulk :meth:`mark_line` over an iterable of byte addresses.
+
+        One counter update and locally bound dict ops per call; the
+        batched writeback drain (``Directory.put_modified_many``) feeds
+        whole eviction/flush batches through here.
+        """
+        if isinstance(line_addrs, np.ndarray):
+            line_addrs = line_addrs.tolist()
+        masks = self._masks
+        page_size = self.page_size
+        line = units.CACHE_LINE
+        count = 0
+        for line_addr in line_addrs:
+            if line_addr % line:
+                raise AddressError(f"{line_addr:#x} not line aligned")
+            page, offset = divmod(line_addr, page_size)
+            bit = 1 << (offset // line)
+            prev = masks.setdefault(page, bit)
+            if not prev & bit:
+                masks[page] = prev | bit
+            count += 1
+        if count:
+            self.counters.add("lines_marked", count)
 
     def page_mask(self, page: int) -> int:
         """Dirty-line bitmask for page index ``page`` (0 if clean)."""

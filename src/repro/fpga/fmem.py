@@ -113,6 +113,7 @@ class FMemCache:
             if lines:
                 victim = policy.evict()
                 lines.pop(victim)
+                self._cache._occupied -= 1
                 dropped.append(victim * self.page_size)
                 self.counters.add("proactive_evictions")
         remaining = count - len(dropped)

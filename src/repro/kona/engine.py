@@ -1,0 +1,322 @@
+"""The batched ``run_trace`` engine: bulk hits, replayed events.
+
+``KonaRuntime.run_trace`` used to execute one Python call chain per
+access (``runtime.access`` -> ``CoherentCache.access`` -> directory ->
+``MemoryAgent``).  On paper-scale traces almost every access is a pure
+CPU-cache hit that touches nothing below the cache, so this engine
+splits the stream:
+
+* a vectorized front-end (:class:`VectorizedCoherentCache`, an ndarray
+  mirror of the CPU coherent cache) classifies each span of accesses
+  and resolves runs of *pure hits* — resident lines, writable when
+  written — in single numpy operations;
+* everything else (misses, S->M upgrades) is a *compressed event
+  stream* replayed one at a time, in program order, through the exact
+  same directory/MemoryAgent/FMem/eviction back-end the scalar path
+  uses — so directory traffic, FMem fills, dirty-bitmap marks,
+  eviction-handler work and the accumulated stall are bit-identical.
+
+Pure hits never change another line's residency or writability, so a
+classification stays valid up to the first non-pure access.  After
+each replayed event the front-end's hit masks are *patched* instead of
+recomputed: the evicted victim and any lines the directory invalidated
+mid-fill (FMem page evictions snoop every line of the victim page)
+become misses; the filled or upgraded line becomes a hit.  The
+256-access ``maybe_evict``/sampler-tick cadence is preserved by ending
+every span at a cadence point, and the trace is consumed in bounded
+chunks (no whole-trace ``tolist`` materialization).
+
+The scalar loop remains in :meth:`KonaRuntime.run_trace` as the
+differential-test oracle (``engine="scalar"``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..coherence.vectorized import (DOWNGRADED, INVALIDATED, MODIFIED,
+                                    _WRITABLE, VectorizedCoherentCache)
+from ..common import units
+from ..common.errors import AddressError
+
+if TYPE_CHECKING:
+    from .runtime import KonaRuntime
+
+#: Trace chunk size; a multiple of the 256-access maintenance cadence.
+#: Also the granularity of engine-mode adaptation, so it is kept small
+#: enough that a cold trace stops paying vectorization overhead quickly.
+_CHUNK = 1 << 14
+
+#: Mode hysteresis: leave vectorized mode when more than half of a
+#: chunk fell back to scalar replay; come back only after a scalar
+#: chunk ran at >= 7/8 CPU-cache hits.  The gap keeps a ~50%-hit trace
+#: from oscillating (every switch re-imports or re-exports the cache).
+_ESCAPE_NUM, _ESCAPE_DEN = 1, 2
+_REENTER_NUM, _REENTER_DEN = 7, 8
+
+#: The ``i & 0xFF == 0`` maintenance period of the scalar loop.
+_CADENCE = 256
+
+_LINE_SHIFT = units.CACHE_LINE.bit_length() - 1
+
+
+def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
+                      writes: np.ndarray) -> float:
+    """Execute the access stream; returns the accumulated stall ns.
+
+    State-, counter- and latency-identical to the scalar loop,
+    including mid-trace exceptions: an out-of-range address raises
+    :class:`AddressError` after the preceding accesses have fully
+    executed, and back-end failures (e.g. ``NodeFailure``) propagate
+    with the cache state at the failing access exported back.
+    """
+    n = int(addrs.size)
+    directory = rt.agent.directory
+    front: VectorizedCoherentCache = None
+    imported = False
+    stall = 0.0
+    vf_start, vf_end = rt.vfmem.start, rt.vfmem.end
+    tick = rt.obs.tick if rt.obs.sampler is not None else None
+    maybe_evict = rt.maybe_evict
+    counters = rt.counters
+    try:
+        pos = 0
+        vector_mode = True
+        while pos < n:
+            hi = min(pos + _CHUNK, n)
+            if not vector_mode:
+                # Scalar stretch (mode switches land on chunk = cadence
+                # boundaries, so maintenance timing is unchanged).
+                hits0 = counters["cache_hits"]
+                stall = rt._run_trace_scalar(addrs[pos:hi], writes[pos:hi],
+                                             stall)
+                hits = counters["cache_hits"] - hits0
+                vector_mode = (hits * _REENTER_DEN
+                               >= (hi - pos) * _REENTER_NUM)
+                pos = hi
+                continue
+            if not imported:
+                front = VectorizedCoherentCache.from_scalar(rt.cpu_cache)
+                front.attach(directory)
+                front.record_mutations = True
+                imported = True
+            a = np.asarray(addrs[pos:hi]).astype(np.int64, copy=False)
+            w = np.ascontiguousarray(writes[pos:hi], dtype=bool)
+            ok = (a >= vf_start) & (a < vf_end)
+            limit = a.size if ok.all() else int(ok.argmin())
+            tags = a >> _LINE_SHIFT
+            stall, replayed = _run_span(rt, front, tags[:limit], w[:limit],
+                                        pos, stall, maybe_evict, tick)
+            if limit < a.size:
+                # Same behaviour as the scalar loop: every access before
+                # the bad one has executed; the bad one raises.
+                raise AddressError(
+                    f"{int(a[limit]):#x} is not Kona-managed memory")
+            pos = hi
+            if replayed * _ESCAPE_DEN > a.size * _ESCAPE_NUM:
+                # Mostly scalar replay: too few CPU-cache hits for bulk
+                # classification to pay for itself.  Export and run the
+                # plain dict-cache loop until the trace turns hot again.
+                front.record_mutations = False
+                front.export_to(rt.cpu_cache)
+                rt.cpu_cache.attach(directory)
+                imported = False
+                vector_mode = False
+    finally:
+        if imported:
+            front.record_mutations = False
+            front.export_to(rt.cpu_cache)
+            rt.cpu_cache.attach(directory)
+    return stall
+
+
+def _run_span(rt: "KonaRuntime", front: VectorizedCoherentCache,
+              tags: np.ndarray, w: np.ndarray, g_base: int, stall: float,
+              maybe_evict, tick) -> Tuple[float, int]:
+    """Run one chunk, segmented at the maintenance cadence.
+
+    The scalar loop runs ``maybe_evict``/``obs.tick`` *after* access
+    ``i`` whenever ``i % 256 == 0``, so each segment extends through
+    the next cadence index and maintenance fires at its end.  Returns
+    ``(stall, accesses handled by scalar replay)`` — the second value
+    feeds the caller's miss-heavy escape hatch.
+    """
+    m = int(tags.size)
+    local = 0
+    replayed = 0
+    while local < m:
+        g = g_base + local
+        cadence = g if g % _CADENCE == 0 else (g // _CADENCE + 1) * _CADENCE
+        end = min(cadence - g_base + 1, m)
+        stall, seg_replayed = _run_segment(rt, front, tags[local:end],
+                                           w[local:end], front._clock + 1,
+                                           stall)
+        replayed += seg_replayed
+        front._clock += end - local
+        if (g_base + end - 1) % _CADENCE == 0:
+            maybe_evict()
+            # Proactive eviction may have snooped lines out of the CPU
+            # cache; the next segment reclassifies, so drop the log.
+            front._mutations.clear()
+            if tick is not None:
+                tick()
+        local = end
+    return stall, replayed
+
+
+def _run_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
+                 seg_tags: np.ndarray, seg_w: np.ndarray, age0: int,
+                 stall: float) -> Tuple[float, int]:
+    """Bulk-resolve pure-hit runs; replay each boundary event.
+
+    Returns ``(stall, accesses handled by scalar replay)``.
+    """
+    length = int(seg_tags.size)
+    pure, resident, flat = front.classify(seg_tags, seg_w)
+    if 2 * int(pure.sum()) < length:
+        # Miss-heavy segment: the run/patch machinery would pay its
+        # numpy overhead on nearly every access for no bulk win, so
+        # replay the segment access-by-access against the front-end's
+        # tag map — same events, same order, same counters.
+        return _replay_segment(rt, front, seg_tags, seg_w, age0,
+                               stall), length
+    ages = np.arange(age0, age0 + length, dtype=np.int64)
+    counters = rt.counters
+    agent = rt.agent
+    account = rt.account
+    tracer = rt.obs.tracer
+    hist = rt._stall_hist
+    p = 0
+    while p < length:
+        run = pure[p:]
+        # One scan finds the first non-pure access; argmin of an
+        # all-True slice is 0, disambiguated by reading the element.
+        r = int(run.argmin())
+        q = length if run[r] else p + r
+        if q > p:
+            front.bulk_hits(flat[p:q], seg_w[p:q], ages[p:q])
+            counters.add("cache_hits", q - p)
+            p = q
+            if p >= length:
+                break
+        tag = int(seg_tags[p])
+        line_addr = tag << _LINE_SHIFT
+        rem_tags = seg_tags[p + 1:]
+        rem_w = seg_w[p + 1:]
+        pure_rem = pure[p + 1:]
+        res_rem = resident[p + 1:]
+        if resident[p]:
+            # Resident but not pure: a write to a S/O line (upgrade).
+            front.upgrade(line_addr, age0 + p)
+            counters.add("cache_hits")
+            if front._mutations:
+                _patch_mutations(front, rem_tags, rem_w, pure_rem, res_rem)
+            sel = rem_tags == tag
+            if sel.any():
+                res_rem[sel] = True
+                pure_rem[sel] = True
+        else:
+            victim_tag, code, fill_flat = front.miss_fill(
+                line_addr, bool(seg_w[p]), age0 + p)
+            cost = agent.last_access_ns
+            stall += cost
+            account.charge("memory_stall", cost)
+            counters.add("cache_misses")
+            if tracer.enabled:
+                hist.observe(cost)
+            # Patch in event order: the victim left, then any lines the
+            # fill's side effects invalidated, then the line arrived.
+            if victim_tag is not None:
+                sel = rem_tags == victim_tag
+                if sel.any():
+                    pure_rem[sel] = False
+                    res_rem[sel] = False
+            if front._mutations:
+                _patch_mutations(front, rem_tags, rem_w, pure_rem, res_rem)
+            sel = rem_tags == tag
+            if sel.any():
+                res_rem[sel] = True
+                if _WRITABLE[code]:
+                    pure_rem[sel] = True
+                else:
+                    pure_rem[sel] = ~rem_w[sel]
+                flat[p + 1:][sel] = fill_flat
+        p += 1
+    return stall, 0
+
+
+#: ``_WRITABLE`` as a Python tuple (state codes I/S/E/O/M) — scalar
+#: indexing in the replay loop without numpy scalar boxing.
+_WRITABLE_PY = tuple(bool(x) for x in _WRITABLE)
+
+
+def _replay_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
+                    seg_tags: np.ndarray, seg_w: np.ndarray, age0: int,
+                    stall: float) -> float:
+    """Scalar replay of one segment against the vectorized front-end.
+
+    Functionally identical to the run/patch path (``front``'s scalar
+    methods mirror ``CoherentCache.access`` exactly); chosen when a
+    segment classifies as mostly misses.  Counters are accumulated and
+    added once — totals, not call counts, are what the scalar path's
+    counters hold.
+    """
+    counters = rt.counters
+    agent = rt.agent
+    account = rt.account
+    tracer = rt.obs.tracer
+    hist = rt._stall_hist
+    tag_map = front._tag_map
+    state_f = front._state_f
+    age_f = front._age_f
+    hits = 0
+    misses = 0
+    age = age0 - 1
+    for tag, isw in zip(seg_tags.tolist(), seg_w.tolist()):
+        age += 1
+        flat = tag_map.get(tag, -1)
+        if flat >= 0:
+            if not isw or _WRITABLE_PY[state_f[flat]]:
+                if isw:
+                    state_f[flat] = MODIFIED
+                age_f[flat] = age
+                hits += 1
+                continue
+            front.upgrade(tag << _LINE_SHIFT, age)
+            counters.add("cache_hits")
+            continue
+        front.miss_fill(tag << _LINE_SHIFT, isw, age)
+        cost = agent.last_access_ns
+        stall += cost
+        account.charge("memory_stall", cost)
+        misses += 1
+        if tracer.enabled:
+            hist.observe(cost)
+    if hits:
+        front.counters.add("hits", hits)
+        counters.add("cache_hits", hits)
+    if misses:
+        counters.add("cache_misses", misses)
+    # Nothing to patch in this mode; drop any snoop journal entries so
+    # they don't leak into the next (reclassified) segment.
+    front._mutations.clear()
+    return stall
+
+
+def _patch_mutations(front: VectorizedCoherentCache, rem_tags: np.ndarray,
+                     rem_w: np.ndarray, pure_rem: np.ndarray,
+                     res_rem: np.ndarray) -> None:
+    """Fold directory-initiated mutations into the remaining masks."""
+    for kind, mtag in front.take_mutations():
+        sel = rem_tags == mtag
+        if not sel.any():
+            continue
+        if kind == INVALIDATED:
+            pure_rem[sel] = False
+            res_rem[sel] = False
+        else:
+            assert kind == DOWNGRADED
+            # Still resident, no longer writable.
+            pure_rem[sel] = ~rem_w[sel]

@@ -39,6 +39,7 @@ from ..obs import FlightRecorder, traced
 from ..vm.swap import ExecutionReport
 from .alloclib import AllocLib
 from .config import KonaConfig
+from .engine import run_trace_batched
 from .eviction import EvictionHandler
 from .failures import FailureManager, FallbackMode, MachineCheckException
 from .health import HealthMonitor, HealthState
@@ -48,6 +49,9 @@ from .tracker import DirtyDataTracker
 
 #: Physical base address where the FPGA exposes VFMem.
 VFMEM_BASE = 4 * units.GB
+
+#: Accesses materialized per chunk by the scalar trace loop.
+_SCALAR_CHUNK = 1 << 16
 
 
 def build_rack(fabric: Fabric, num_nodes: int, node_capacity: int,
@@ -84,6 +88,9 @@ class KonaRuntime:
         # fabric and a recorder, the recorder is rebound to the fabric's
         # clock so timestamps agree.
         self.obs = recorder if recorder is not None else FlightRecorder()
+        # Bound once: the access hot path checks tracer.enabled without
+        # going through the recorder's property chain.
+        self._tracer = self.obs.tracer
 
         # -- rack ------------------------------------------------------------
         if fabric is None:
@@ -323,7 +330,7 @@ class KonaRuntime:
         cost = self.agent.last_access_ns
         self.account.charge("memory_stall", cost)
         self.counters.add("cache_misses")
-        if self.obs.enabled:
+        if self._tracer.enabled:
             self._stall_hist.observe(cost)
         return cost
 
@@ -346,7 +353,8 @@ class KonaRuntime:
         return total
 
     def run_workload(self, model, windows: int = 2, seed: int = 0,
-                     max_accesses: Optional[int] = None) -> ExecutionReport:
+                     max_accesses: Optional[int] = None,
+                     engine: str = "batched") -> ExecutionReport:
         """Run a :class:`~repro.workloads.base.WorkloadModel` end to end.
 
         Convenience wrapper: generates the workload's trace, maps a
@@ -360,24 +368,30 @@ class KonaRuntime:
                                                         len(trace))
         addrs = trace.addrs[:n] + np.uint64(region.start)
         writes = trace.writes[:n].copy()
-        report = self.run_trace(addrs, writes)
+        report = self.run_trace(addrs, writes, engine=engine)
         report.name = f"kona[{model.name}]"
         return report
 
-    def run_trace(self, addrs: np.ndarray, writes: np.ndarray) -> ExecutionReport:
+    def run_trace(self, addrs: np.ndarray, writes: np.ndarray,
+                  engine: str = "batched") -> ExecutionReport:
         """Execute an access stream; returns the same report shape as
-        the page-based engine, so Figure 7 can compare them directly."""
+        the page-based engine, so Figure 7 can compare them directly.
+
+        ``engine="batched"`` (default) bulk-resolves pure CPU-cache
+        hits through the vectorized front-end and replays everything
+        else through the scalar back-end (see :mod:`repro.kona.engine`);
+        ``engine="scalar"`` is the one-access-at-a-time oracle.  Both
+        produce bit-identical reports, counters and component state.
+        """
         if addrs.shape != writes.shape:
             raise ConfigError("addrs and writes must have identical shape")
-        stall = 0.0
-        access = self.access
-        maybe_evict = self.maybe_evict
-        for i, (addr, is_write) in enumerate(zip(addrs.tolist(),
-                                                 writes.tolist())):
-            stall += access(int(addr), is_write)
-            if i & 0xFF == 0:
-                maybe_evict()   # background reclaimer ticks periodically
-                self.obs.tick()  # gauge sampler, when one is attached
+        if engine == "batched":
+            stall = run_trace_batched(self, addrs, writes)
+        elif engine == "scalar":
+            stall = self._run_trace_scalar(addrs, writes)
+        else:
+            raise ConfigError(f"unknown run_trace engine {engine!r}; "
+                              "choose 'batched' or 'scalar'")
         app = self.app_ns_per_access * addrs.size
         self.account.charge("app_compute", app)
         return ExecutionReport(
@@ -391,6 +405,35 @@ class KonaRuntime:
                            * self.config.fetch_block),
             bytes_written_back=self.eviction.stats.wire_bytes,
         )
+
+    def _run_trace_scalar(self, addrs: np.ndarray, writes: np.ndarray,
+                          stall: float = 0.0) -> float:
+        """The oracle loop: one Python call chain per access.
+
+        Iterates the trace in fixed-size chunks so large traces never
+        materialize whole-array ``tolist`` copies.  ``stall`` seeds the
+        accumulator so a caller (the batched engine's scalar stretches)
+        can continue one float-accumulation chain — float addition is
+        not associative, and the engines must agree bit for bit.
+        """
+        access = self.access
+        maybe_evict = self.maybe_evict
+        # The tick only drives the gauge sampler; skip it entirely when
+        # none is attached instead of paying a call every 256 accesses.
+        tick = self.obs.tick if self.obs.sampler is not None else None
+        n = int(addrs.size)
+        i = 0
+        for pos in range(0, n, _SCALAR_CHUNK):
+            hi = min(pos + _SCALAR_CHUNK, n)
+            for addr, is_write in zip(addrs[pos:hi].tolist(),
+                                      writes[pos:hi].tolist()):
+                stall += access(int(addr), is_write)
+                if i & 0xFF == 0:
+                    maybe_evict()   # background reclaimer ticks periodically
+                    if tick is not None:
+                        tick()      # gauge sampler, when one is attached
+                i += 1
+        return stall
 
     # -- maintenance ----------------------------------------------------------------------
 

@@ -1,0 +1,168 @@
+"""Tests for the vectorized CPU coherent-cache front-end.
+
+The ndarray mirror must be interconvertible with the ordered-dict
+cache (import/export roundtrip) and behave identically under directory
+traffic, including multi-agent invalidations and MOESI downgrades.
+"""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.coherence.agent import CoherentCache
+from repro.coherence.directory import Directory
+from repro.coherence.states import LineState, Protocol
+from repro.coherence.vectorized import VectorizedCoherentCache
+from repro.common.errors import CoherenceError
+from repro.mem.address import AddressRange
+
+HOME = AddressRange(0, 4 * u.MB)
+CAPACITY = 16 * u.KB
+WAYS = 2
+
+
+def make_pair(protocol=Protocol.MESI):
+    """A directory plus one scalar cache registered with it."""
+    directory = Directory(HOME, protocol=protocol)
+    resolver = lambda addr: directory  # noqa: E731
+    cache = CoherentCache(1, resolver, capacity=CAPACITY, ways=WAYS,
+                          protocol=protocol)
+    cache.attach(directory)
+    return directory, cache
+
+
+def drive(cache, rng, ops, lines=1024):
+    for _ in range(ops):
+        addr = int(rng.integers(0, lines)) * u.CACHE_LINE
+        cache.access(addr, bool(rng.random() < 0.4))
+
+
+def set_contents(cache):
+    return [list(s.items()) for s in cache._sets]
+
+
+class TestRoundtrip:
+    def test_import_export_identity(self):
+        _, cache = make_pair()
+        drive(cache, np.random.default_rng(0), 3000)
+        before = set_contents(cache)
+        vec = VectorizedCoherentCache.from_scalar(cache)
+        vec.export_to(cache)
+        assert set_contents(cache) == before
+        assert vec.occupancy == sum(len(s) for s in cache._sets)
+
+    def test_export_preserves_lru_order(self):
+        _, cache = make_pair()
+        # One set: touch three lines, re-touch the first so LRU order
+        # is (b, a); the dict's insertion order must survive.
+        stride = cache.num_sets * u.CACHE_LINE
+        cache.access(0, False)
+        cache.access(stride, False)
+        cache.access(0, True)
+        vec = VectorizedCoherentCache.from_scalar(cache)
+        vec.export_to(cache)
+        (keys,) = [list(s) for s in cache._sets if s]
+        assert keys == [stride, 0]
+
+    def test_empty_cache_roundtrip(self):
+        _, cache = make_pair()
+        vec = VectorizedCoherentCache.from_scalar(cache)
+        vec.export_to(cache)
+        assert all(not s for s in cache._sets)
+
+    def test_geometry_mismatch_rejected(self):
+        _, cache = make_pair()
+        vec = VectorizedCoherentCache.from_scalar(cache)
+        resolver = lambda addr: None  # noqa: E731
+        other = CoherentCache(1, resolver, capacity=2 * CAPACITY, ways=WAYS)
+        with pytest.raises(CoherenceError):
+            vec.export_to(other)
+
+
+class TestScalarParity:
+    """front.access must be indistinguishable from CoherentCache.access."""
+
+    @pytest.mark.parametrize("protocol", [Protocol.MESI, Protocol.MOESI])
+    def test_single_agent_random_stream(self, protocol):
+        _, scalar = make_pair(protocol)
+        dir2, twin = make_pair(protocol)
+        vec = VectorizedCoherentCache.from_scalar(twin)
+        vec.attach(dir2)
+        rng_a, rng_b = (np.random.default_rng(7) for _ in range(2))
+        for _ in range(4000):
+            addr = int(rng_a.integers(0, 2048)) * u.CACHE_LINE
+            w = bool(rng_a.random() < 0.4)
+            assert scalar.access(addr, w) == vec.access(
+                int(rng_b.integers(0, 2048)) * u.CACHE_LINE,
+                bool(rng_b.random() < 0.4))
+        vec.export_to(twin)
+        assert set_contents(twin) == set_contents(scalar)
+        assert vec.counters.as_dict() == scalar.counters.as_dict()
+
+    @pytest.mark.parametrize("protocol", [Protocol.MESI, Protocol.MOESI])
+    def test_two_agents_share_and_snoop(self, protocol):
+        # Reference world: two dict caches.  Mirror world: the first
+        # agent runs on arrays, the second stays a dict cache.
+        worlds = []
+        for vectorize in (False, True):
+            directory = Directory(HOME, protocol=protocol)
+            resolver = lambda addr, d=directory: d  # noqa: E731
+            a = CoherentCache(1, resolver, capacity=CAPACITY, ways=WAYS,
+                              protocol=protocol)
+            a.attach(directory)
+            b = CoherentCache(2, resolver, capacity=CAPACITY, ways=WAYS,
+                              protocol=protocol)
+            b.attach(directory)
+            if vectorize:
+                front = VectorizedCoherentCache.from_scalar(a)
+                front.attach(directory)
+            else:
+                front = a
+            rng = np.random.default_rng(13)
+            for _ in range(6000):
+                agent = front if rng.random() < 0.5 else b
+                addr = int(rng.integers(0, 512)) * u.CACHE_LINE
+                agent.access(addr, bool(rng.random() < 0.5))
+            if vectorize:
+                front.export_to(a)
+            worlds.append((set_contents(a), set_contents(b),
+                           directory.counters.as_dict(),
+                           a.counters.as_dict()))
+        assert worlds[0] == worlds[1]
+
+
+class TestMutationLog:
+    def test_snoops_recorded_only_when_enabled(self):
+        directory = Directory(HOME)
+        resolver = lambda addr: directory  # noqa: E731
+        a = CoherentCache(1, resolver, capacity=CAPACITY, ways=WAYS)
+        a.attach(directory)
+        a.access(0, True)           # MODIFIED in agent 1
+        a.access(u.CACHE_LINE, False)
+        front = VectorizedCoherentCache.from_scalar(a)
+        front.attach(directory)
+        b = CoherentCache(2, resolver, capacity=CAPACITY, ways=WAYS)
+        b.attach(directory)
+        b.access(0, True)           # invalidates agent 1's copy
+        assert front.take_mutations() == []   # recording off by default
+        front.record_mutations = True
+        b.access(u.CACHE_LINE, True)
+        log = front.take_mutations()
+        assert len(log) == 1
+        assert front.state_of(u.CACHE_LINE) is LineState.INVALID
+        assert front.take_mutations() == []   # drained
+
+    def test_moesi_downgrade_keeps_line_resident(self):
+        directory = Directory(HOME, protocol=Protocol.MOESI)
+        resolver = lambda addr: directory  # noqa: E731
+        a = CoherentCache(1, resolver, capacity=CAPACITY, ways=WAYS,
+                          protocol=Protocol.MOESI)
+        a.attach(directory)
+        a.access(0, True)
+        front = VectorizedCoherentCache.from_scalar(a)
+        front.attach(directory)
+        b = CoherentCache(2, resolver, capacity=CAPACITY, ways=WAYS,
+                          protocol=Protocol.MOESI)
+        b.attach(directory)
+        b.access(0, False)          # MOESI: owner demotes M -> O
+        assert front.state_of(0) is LineState.OWNED

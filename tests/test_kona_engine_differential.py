@@ -1,0 +1,189 @@
+"""Differential tests: scalar vs batched ``run_trace`` engines.
+
+The batched engine's acceptance bar is *bit-identity*: every counter
+at every layer, the dirty bitmap, the time accounting and the report
+must match the scalar oracle exactly — across workload models,
+coherence protocols, prefetch policies, observability settings, and a
+mid-trace node-failure campaign.
+"""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import AddressError, ConfigError
+from repro.experiments.bench import runtime_fingerprint
+from repro.experiments.chaos import (REGION_BYTES, build_chaos_runtime,
+                                     chaos_stream)
+from repro.kona.config import KonaConfig
+from repro.kona.runtime import KonaRuntime
+from repro.obs import FlightRecorder
+from repro.workloads import WORKLOADS
+
+N = 4_000
+
+
+def build_runtime(recorder=None, **overrides):
+    defaults = dict(fmem_capacity=8 * u.MB, vfmem_capacity=512 * u.MB,
+                    slab_bytes=16 * u.MB)
+    defaults.update(overrides)
+    return KonaRuntime(KonaConfig(**defaults), app_ns_per_access=70.0,
+                       recorder=recorder)
+
+
+def hot_trace(n, region_bytes, seed=3, hot_lines=2048, cold=0.01):
+    """Mostly CPU-cache hits with occasional cold lines (vector path)."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, hot_lines, size=n, dtype=np.int64)
+    mask = rng.random(n) < cold
+    lines[mask] = rng.integers(hot_lines, region_bytes // u.CACHE_LINE,
+                               size=int(mask.sum()), dtype=np.int64)
+    return lines * u.CACHE_LINE, rng.random(n) < 0.4
+
+
+def run_pair(make_runtime, make_trace):
+    """Run the same trace on both engines; return both fingerprints."""
+    out = {}
+    for engine in ("scalar", "batched"):
+        rt = make_runtime()
+        addrs, writes = make_trace(rt)
+        report = rt.run_trace(addrs, writes, engine=engine)
+        out[engine] = runtime_fingerprint(rt, report)
+    return out
+
+
+def assert_identical(make_runtime, make_trace):
+    got = run_pair(make_runtime, make_trace)
+    assert got["scalar"] == got["batched"]
+
+
+def workload_trace(name, n=N):
+    def make(rt):
+        model = WORKLOADS[name]()
+        trace = model.generate(windows=2, seed=7)
+        region = rt.mmap(model.memory_bytes)
+        m = min(n, len(trace))
+        return trace.addrs[:m] + np.uint64(region.start), trace.writes[:m]
+    return make
+
+
+def mapped_hot_trace(n=N, **kwargs):
+    def make(rt):
+        region = rt.mmap(32 * u.MB)
+        addrs, writes = hot_trace(n, 32 * u.MB, **kwargs)
+        return addrs + np.int64(region.start), writes
+    return make
+
+
+class TestWorkloadModels:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_engines_identical(self, name):
+        assert_identical(build_runtime, workload_trace(name))
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("protocol", ["msi", "mesi", "moesi"])
+    def test_protocols(self, protocol):
+        # MSI grants S on every read fill, so writes exercise the
+        # upgrade path the vectorized front-end replays one by one.
+        assert_identical(lambda: build_runtime(protocol=protocol),
+                         mapped_hot_trace())
+
+    @pytest.mark.parametrize("policy", ["none", "next-page", "stride",
+                                        "leap"])
+    def test_prefetch_policies(self, policy):
+        assert_identical(lambda: build_runtime(prefetch_policy=policy),
+                         workload_trace("redis-seq"))
+
+    def test_eager_upgrade_tracking(self):
+        assert_identical(
+            lambda: build_runtime(protocol="msi",
+                                  eager_upgrade_tracking=True),
+            mapped_hot_trace())
+
+    def test_tiny_fmem_eviction_pressure(self):
+        # FMem far smaller than the footprint: page evictions snoop
+        # resident CPU lines mid-batch (the mutation-patching path).
+        assert_identical(
+            lambda: build_runtime(fmem_capacity=1 * u.MB),
+            workload_trace("redis-rand", n=8_000))
+
+    def test_sampler_and_tracing(self):
+        def make_rt():
+            rec = FlightRecorder(tracing=True, sample_interval_ns=10_000.0)
+            return build_runtime(recorder=rec)
+        assert_identical(make_rt, mapped_hot_trace())
+
+
+class TestEngineContract:
+    def test_batched_is_default(self):
+        rt = build_runtime()
+        region = rt.mmap(32 * u.MB)
+        addrs, writes = hot_trace(N, 32 * u.MB)
+        rt.run_trace(addrs + np.int64(region.start), writes)
+        twin = build_runtime()
+        twin.mmap(32 * u.MB)
+        twin.run_trace(addrs + np.int64(region.start), writes,
+                       engine="batched")
+        assert rt.counters.as_dict() == twin.counters.as_dict()
+
+    def test_unknown_engine_rejected(self):
+        rt = build_runtime()
+        rt.mmap(32 * u.MB)
+        with pytest.raises(ConfigError):
+            rt.run_trace(np.zeros(1, dtype=np.int64),
+                         np.zeros(1, dtype=bool), engine="warp")
+
+    def test_run_workload_engines_identical(self):
+        out = {}
+        for engine in ("scalar", "batched"):
+            rt = build_runtime()
+            report = rt.run_workload(WORKLOADS["histogram"](), windows=2,
+                                     seed=5, max_accesses=N, engine=engine)
+            out[engine] = runtime_fingerprint(rt, report)
+        assert out["scalar"] == out["batched"]
+
+    def test_mid_trace_address_error_parity(self):
+        # A wild address mid-trace: both engines execute every prior
+        # access, raise AddressError, and leave identical state behind.
+        state = {}
+        for engine in ("scalar", "batched"):
+            rt = build_runtime()
+            region = rt.mmap(32 * u.MB)
+            addrs, writes = hot_trace(2_000, 32 * u.MB)
+            addrs = addrs + np.int64(region.start)
+            addrs[1_500] = 7  # below every Kona mapping
+            with pytest.raises(AddressError):
+                rt.run_trace(addrs, writes, engine=engine)
+            state[engine] = (rt.counters.as_dict(),
+                             rt.cpu_cache.counters.as_dict(),
+                             [list(s.items()) for s in rt.cpu_cache._sets])
+        assert state["scalar"] == state["batched"]
+
+    def test_shape_mismatch_rejected(self):
+        rt = build_runtime()
+        with pytest.raises(ConfigError):
+            rt.run_trace(np.zeros(4, dtype=np.int64),
+                         np.zeros(3, dtype=bool))
+
+
+class TestChaosCampaign:
+    """Split-trace campaign: fail a replica mid-run, recover, compare."""
+
+    @pytest.mark.parametrize("protocol", ["mesi", "moesi"])
+    def test_node_failure_between_spans(self, protocol):
+        out = {}
+        for engine in ("scalar", "batched"):
+            rt = build_chaos_runtime(seed=0, replication=2)
+            region = rt.mmap(REGION_BYTES)
+            addrs, writes = chaos_stream(region.start, 9_000, seed=4)
+            spans = np.array_split(np.arange(addrs.size), 3)
+            rt.run_trace(addrs[spans[0]], writes[spans[0]], engine=engine)
+            rt.fabric.fail_node("mem0")
+            rt.run_trace(addrs[spans[1]], writes[spans[1]], engine=engine)
+            rt.fabric.recover_node("mem0")
+            rt.recover()
+            report = rt.run_trace(addrs[spans[2]], writes[spans[2]],
+                                  engine=engine)
+            out[engine] = runtime_fingerprint(rt, report)
+        assert out["scalar"] == out["batched"]
