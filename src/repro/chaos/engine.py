@@ -17,7 +17,7 @@ access stream the way wall-clock faults would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,12 @@ class CampaignResult:
     post_recovery_amat_ns: float
     invariants: List[InvariantCheck] = field(default_factory=list)
     telemetry: Optional[TelemetrySnapshot] = None
+    # (ns, state, context) per health transition.  Context comes from
+    # any providers attached to the monitor (e.g. the SLO engine's
+    # firing alerts); kept out of fingerprint() so alert wiring never
+    # perturbs the determinism checks.
+    health_transitions: List[Tuple[float, str, Dict[str, object]]] = \
+        field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -260,6 +266,7 @@ class ChaosEngine:
         result.invariants = check_all(rt, pre, post,
                                       tolerance=self.amat_tolerance)
         result.telemetry = snapshot(rt)
+        result.health_transitions = list(rt.health.annotated_transitions)
         return result
 
     def _baseline_and_final(

@@ -12,7 +12,13 @@ Usage::
     python -m repro sweep [--processes N] [--ops 40000]
     python -m repro bench [--suite kcachesim|runtime] [--quick]
                           [--min-speedup 1.0] [--output FILE]
+                          [--history FILE|none]
     python -m repro trace [--out trace.json] [--prom FILE] [--jsonl FILE]
+    python -m repro profile [--top 10] [--window-us 100]
+    python -m repro perfdiff [--run-a A.json --run-b B.json]
+                             [--against BENCH_runtime.json --tolerance 0.5]
+                             [--report FILE]
+    python -m repro slo [--seed 0] [--trace-ops 8000]
     python -m repro all
 
 Each command prints the regenerated rows/series next to the paper's
@@ -22,8 +28,9 @@ reference values.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from . import units
 from .analysis import paper, render_comparison, render_series, render_table
@@ -45,16 +52,34 @@ from .experiments import (
 )
 from .experiments.bench import (
     BENCH_FILENAME,
+    HISTORY_FILENAME,
     RUNTIME_BENCH_FILENAME,
+    append_history,
     check_speedup,
+    load_history,
     run_bench,
     run_runtime_bench,
     write_bench,
 )
+from .experiments.control import (
+    STALL_CATEGORIES,
+    run_control,
+)
 from .experiments.fig8 import SYSTEMS, best_block
 from .experiments.flight import instant_summary, run_flight, span_summary
 from .experiments.sweep import run_sweep, sweep_grid
-from .obs import validate_chrome_trace
+from .obs import (
+    bench_regressions,
+    critical_path,
+    diff_bench,
+    diff_runs,
+    load_artifact,
+    profile,
+    run_artifact,
+    stall_windows,
+    top_stalls,
+    validate_chrome_trace,
+)
 
 
 def cmd_table2(args: argparse.Namespace) -> None:
@@ -239,6 +264,8 @@ def cmd_bench(args: argparse.Namespace) -> None:
     path = write_bench(payload, output)
     print(f"\ncanonical speedup: {payload['canonical_speedup']:.1f}x "
           f"({payload['canonical_workload']}); report: {path}")
+    if args.history != "none":
+        print(f"history: {append_history(payload, args.history)}")
     if args.min_speedup is not None:
         failures = check_speedup(payload, args.min_speedup)
         if failures:
@@ -282,6 +309,148 @@ def cmd_trace(args: argparse.Namespace) -> None:
           f"{health['degradations']} degradation(s)")
 
 
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Trace profiler: self time, critical path, stall attribution."""
+    _, recorder = run_flight(seed=args.seed, ops=args.trace_ops)
+    report = profile(recorder.tracer.events)
+    span_rows = [(s.key, s.count, round(s.total_ns / 1e3, 1),
+                  round(s.self_ns / 1e3, 1),
+                  f"{s.self_ns / report.total_ns:.1%}")
+                 for s in report.top_spans(args.top)]
+    print(render_table(
+        ["span", "count", "total us", "self us", "self %"], span_rows,
+        title="Self-time profile (heaviest spans)"))
+    print()
+    print(render_table(
+        ["category", "count", "self us"],
+        [(s.key, s.count, round(s.self_ns / 1e3, 1))
+         for s in report.top_categories(args.top)],
+        title="Self time by category"))
+    print()
+    path_rows = [("  " * depth + name, cat, round(start / 1e3, 1),
+                  round(dur / 1e3, 1), round(self_ns / 1e3, 1))
+                 for depth, name, cat, start, dur, self_ns
+                 in critical_path(report.roots)]
+    print(render_table(["span", "cat", "start us", "dur us", "self us"],
+                       path_rows, title="Critical path (longest chain)"))
+    print()
+    windows = stall_windows(report.roots, args.window_us * 1e3,
+                            STALL_CATEGORIES)
+    stall_rows = [(round(end_ns / 1e3), ", ".join(
+        f"{cat} {ns / 1e3:.1f}us" for cat, ns in ranked))
+        for end_ns, ranked in top_stalls(windows, 3)]
+    print(render_table(["window end (us)", "top stall categories"],
+                       stall_rows,
+                       title=f"Stall attribution per {args.window_us:g} us "
+                             f"window"))
+    print(f"\nself-time coverage: {report.coverage:.4f} "
+          f"({report.self_total_ns / 1e3:.1f} of "
+          f"{report.total_ns / 1e3:.1f} us attributed)")
+
+
+def _campaign_artifact(seed: int, ops: int) -> Dict[str, Any]:
+    """One traced chaos campaign frozen into a run artifact."""
+    _, recorder = run_flight(seed=seed, ops=ops)
+    report = profile(recorder.tracer.events)
+    return run_artifact(recorder, profile=report,
+                        meta={"seed": seed, "ops": ops})
+
+
+def _perfdiff_bench(args: argparse.Namespace) -> None:
+    """The bench-baseline gate half of ``repro perfdiff``."""
+    with open(args.against) as fh:
+        baseline = json.load(fh)
+    name = baseline.get("benchmark")
+    records = load_history(args.history, benchmark=name) \
+        if args.history != "none" else []
+    if records:
+        current = records[-1]
+        source = f"latest of {len(records)} history record(s)"
+    else:
+        suite_runner = (run_runtime_bench
+                        if name == "kona-runtime-engine-bench" else run_bench)
+        print(f"no history for {name!r}; measuring a quick run ...")
+        current = suite_runner(quick=True)
+        source = "fresh quick run"
+    deltas = diff_bench(baseline, current, tolerance=args.tolerance)
+    print(render_table(
+        ["workload", "baseline x", "current x", "floor x", "verdict"],
+        [d.row() for d in deltas],
+        title=f"Perf gate vs {args.against} ({source})"))
+    failures = bench_regressions(deltas)
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        raise SystemExit(1)
+    print(f"perf gate passed (tolerance {args.tolerance:.0%} of baseline)")
+
+
+def cmd_perfdiff(args: argparse.Namespace) -> None:
+    """Run-to-run diff: counters, histograms, self time; perf gates."""
+    if args.against:
+        _perfdiff_bench(args)
+        return
+    if args.run_a and args.run_b:
+        before, after = load_artifact(args.run_a), load_artifact(args.run_b)
+        labels = (args.run_a, args.run_b)
+    else:
+        print(f"diffing two identical campaigns (seed {args.seed}, "
+              f"{args.trace_ops} ops) ...")
+        before = _campaign_artifact(args.seed, args.trace_ops)
+        after = _campaign_artifact(args.seed, args.trace_ops)
+        labels = ("run A", "run B")
+    report = diff_runs(before, after, rel_tol=args.rel_tol)
+    if report.significant:
+        print(render_table(
+            ["kind", "name", "before", "after", "delta", "rel"],
+            [e.row() for e in report.significant],
+            title=f"Significant deltas: {labels[0]} -> {labels[1]}"))
+    for key in report.missing:
+        print(f"missing: {key} (present in only one run)")
+    print(f"\n{len(report.significant)} significant, {len(report.noise)} "
+          f"within noise (rel tol {report.rel_tol:.1%}); "
+          f"{'clean' if report.clean else 'NOT clean'}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"diff report: {args.report}")
+    if not report.clean:
+        raise SystemExit(1)
+
+
+def cmd_slo(args: argparse.Namespace) -> None:
+    """SLO burn-rate alerts over the chaos campaign (control tower)."""
+    report = run_control(seed=args.seed, ops=args.trace_ops)
+    print(render_table(
+        ["t (us)", "state", "alerts at transition"],
+        [(round(ts / 1e3, 1), state,
+          "; ".join(ctx.get("alerts", [])) or "-")
+         for ts, state, ctx in report.annotated_transitions],
+        title=f"Health transitions (seed {args.seed})"))
+    print()
+    print(render_table(
+        ["t (us)", "rule", "burn", "value"],
+        [(round(a.at_ns / 1e3, 1), a.rule,
+          "inf" if a.burn_rate == float("inf") else round(a.burn_rate, 1),
+          round(a.value, 1)) for a in report.alerts],
+        title="Alert timeline"))
+    print()
+    print(render_table(
+        ["rule", "objective", "good fraction", "verdict"],
+        report.verdict_rows(), title="SLO compliance"))
+    degraded = report.degraded_alerts()
+    if degraded:
+        print(f"\nDEGRADED transition explained by: {degraded[0]}")
+    else:
+        print("\nFAIL: no burn-rate alert attached to a DEGRADED "
+              "transition — the control tower was blind to the outage")
+        raise SystemExit(1)
+    if not report.result.passed:
+        print("FAIL: recovery invariants violated")
+        raise SystemExit(1)
+
+
 def cmd_summary(args: argparse.Namespace) -> None:
     """Headline claims: the abstract's numbers, measured."""
     result = run_headline(num_ops=args.ops)
@@ -307,6 +476,9 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
     "trace": cmd_trace,
+    "profile": cmd_profile,
+    "perfdiff": cmd_perfdiff,
+    "slo": cmd_slo,
 }
 
 
@@ -364,6 +536,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace: also write a Prometheus text dump")
     parser.add_argument("--jsonl", default=None,
                         help="trace: also write a JSONL event log")
+    parser.add_argument("--history", default=HISTORY_FILENAME,
+                        help="bench/perfdiff: history JSONL path "
+                             "('none' disables)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="profile: rows in the span/category tables")
+    parser.add_argument("--window-us", type=float, default=100.0,
+                        help="profile: stall-attribution window (us)")
+    parser.add_argument("--run-a", default=None,
+                        help="perfdiff: 'before' run-artifact JSON")
+    parser.add_argument("--run-b", default=None,
+                        help="perfdiff: 'after' run-artifact JSON")
+    parser.add_argument("--rel-tol", type=float, default=0.01,
+                        help="perfdiff: relative noise threshold")
+    parser.add_argument("--report", default=None,
+                        help="perfdiff: also write the diff report JSON")
+    parser.add_argument("--against", default=None,
+                        help="perfdiff: committed BENCH_*.json baseline to "
+                             "gate speedups against")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="perfdiff: allowed fractional speedup drop "
+                             "from the baseline")
     return parser
 
 

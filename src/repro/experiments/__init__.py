@@ -7,8 +7,17 @@ assert.  Examples reuse the same drivers, so the numbers in the README
 and EXPERIMENTS.md come from exactly this code.
 """
 
-from .bench import BenchCase, check_speedup, run_bench, run_case, write_bench
+from .bench import (
+    BenchCase,
+    append_history,
+    check_speedup,
+    load_history,
+    run_bench,
+    run_case,
+    write_bench,
+)
 from .chaos import build_chaos_runtime, chaos_stream, run_chaos
+from .control import KONA_SLOS, ControlReport, run_control
 from .fig7 import Fig7Result, run_fig7
 from .flight import instant_summary, run_flight, span_summary
 from .fig8 import Fig8Result, run_fig8_amat, run_fig8d_blocksize
@@ -27,22 +36,27 @@ from .sections import (
 
 __all__ = [
     "BenchCase",
+    "ControlReport",
     "Fig10Result",
     "Fig11Result",
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "HeadlineResult",
+    "KONA_SLOS",
     "SweepPoint",
     "SweepResult",
     "Table2Result",
+    "append_history",
     "build_chaos_runtime",
     "chaos_stream",
     "check_speedup",
     "instant_summary",
+    "load_history",
     "run_bench",
     "run_case",
     "run_chaos",
+    "run_control",
     "run_fig10",
     "run_fig11",
     "run_fig11c_breakdown",

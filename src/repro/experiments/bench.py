@@ -43,6 +43,9 @@ BENCH_FILENAME = "BENCH_kcachesim.json"
 #: Default report filename (end-to-end runtime suite).
 RUNTIME_BENCH_FILENAME = "BENCH_runtime.json"
 
+#: Default append-only log of every bench run (one JSON line each).
+HISTORY_FILENAME = os.path.join("benchmarks", "out", "history.jsonl")
+
 
 def _git_sha() -> Optional[str]:
     """The repo's HEAD commit, or None outside a git checkout."""
@@ -418,6 +421,69 @@ def write_bench(payload: Dict[str, object], path: str = BENCH_FILENAME) -> str:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
     return path
+
+
+def history_record(payload: Dict[str, object]) -> Dict[str, object]:
+    """Compact one-line form of a bench payload for the history log.
+
+    Keeps the host fingerprint and per-case speedups (what the perf
+    gate compares) and drops the bulky per-level counters, so the log
+    stays greppable and cheap to append forever.
+    """
+    cases = []
+    for case in payload["cases"]:
+        fast = "batched" if "batched" in case else "vectorized"
+        cases.append({
+            "workload": case["workload"],
+            "num_accesses": case["num_accesses"],
+            "speedup": case["speedup"],
+            "scalar_seconds": case["scalar"]["seconds"],
+            f"{fast}_seconds": case[fast]["seconds"],
+        })
+    return {
+        "benchmark": payload["benchmark"],
+        "version": payload["version"],
+        "quick": payload["quick"],
+        "created_unix": payload["created_unix"],
+        "host": payload["host"],
+        "cases": cases,
+        "canonical_workload": payload["canonical_workload"],
+        "canonical_speedup": payload["canonical_speedup"],
+    }
+
+
+def append_history(payload: Dict[str, object],
+                   path: str = HISTORY_FILENAME) -> str:
+    """Append one history record for this bench run; returns the path.
+
+    The log is append-only JSONL under ``benchmarks/out/`` so
+    ``repro perfdiff`` and the CI perf gate have a run-over-run
+    baseline source beyond the committed ``BENCH_*.json`` snapshots.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(history_record(payload), sort_keys=True))
+        fh.write("\n")
+    return path
+
+
+def load_history(path: str = HISTORY_FILENAME,
+                 benchmark: Optional[str] = None) -> List[Dict[str, object]]:
+    """All history records (optionally one benchmark's), oldest first."""
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if benchmark is None or record.get("benchmark") == benchmark:
+                records.append(record)
+    return records
 
 
 def check_speedup(payload: Dict[str, object], min_speedup: float) -> List[str]:

@@ -24,7 +24,7 @@ placed at fractions of the estimated total.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -92,7 +92,9 @@ def run_chaos(seed: int = 0, ops: int = 30_000,
               recover_fraction: float = 0.70,
               amat_tolerance: float = 0.35,
               victim: str = "mem0",
-              recorder: Optional[FlightRecorder] = None) -> CampaignResult:
+              recorder: Optional[FlightRecorder] = None,
+              on_runtime: Optional[Callable[[KonaRuntime], None]] = None
+              ) -> CampaignResult:
     """Run the memory-node-failure campaign end to end.
 
     Schedule: kill the victim at ``kill_fraction`` of the estimated
@@ -100,10 +102,17 @@ def run_chaos(seed: int = 0, ops: int = 30_000,
     failure provably lands while dirty lines homed on the dead node are
     being written back), then restore the node and let the runtime
     drain.
+
+    ``on_runtime`` is called with the freshly built runtime before any
+    access runs — the hook the control tower uses to attach the SLO
+    engine to the health monitor (see
+    :func:`repro.experiments.control.run_control`).
     """
     ns_per_access = _estimate_ns_per_access(ops, seed)
     total_est = ns_per_access * ops
     runtime = build_chaos_runtime(seed, recorder=recorder)
+    if on_runtime is not None:
+        on_runtime(runtime)
     region = runtime.mmap(REGION_BYTES)
     addrs, writes = chaos_stream(region.start, ops, seed)
     engine = ChaosEngine(runtime, seed=seed,

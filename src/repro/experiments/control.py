@@ -1,0 +1,146 @@
+"""The control tower: SLO-monitored chaos campaign with profiling.
+
+This is the Kona-specific wiring for the generic analysis layer in
+:mod:`repro.obs`: it runs the section 4.5 node-failure campaign with
+the full flight recorder enabled (spans, sampler, time-series store),
+attaches an :class:`~repro.obs.slo.SLOEngine` with the Kona rule set
+to the runtime's health monitor, and returns everything the ``repro
+profile`` / ``repro slo`` commands render:
+
+* the campaign result and its recovery invariants;
+* the trace profile (self time, critical path, stall windows);
+* the burn-rate alert timeline and per-rule compliance verdicts;
+* the health transitions *annotated* with the alerts active at each
+  transition instant — a DEGRADED transition carries the alert that
+  explains it, not just a timestamp.
+
+The rule set lives here (not in ``repro.obs``) because metric names
+and realistic bounds are runtime knowledge; the engine itself never
+imports Kona code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..chaos import CampaignResult
+from ..obs import (
+    Alert,
+    FlightRecorder,
+    ProfileReport,
+    SLOEngine,
+    SLORule,
+    profile,
+)
+from .chaos import run_chaos
+from .flight import SAMPLE_INTERVAL_NS
+
+#: Span categories that count as stall time in windowed attribution.
+STALL_CATEGORIES = ("fetch", "evict", "rdma", "net", "coherence", "fault")
+
+#: Default attribution window for ``repro profile`` (sim ns).
+STALL_WINDOW_NS = 100_000.0
+
+#: The Kona SLO rule set evaluated over every control-tower campaign.
+#:
+#: Bounds are calibrated against the default campaign scale (seed 0,
+#: 8k accesses): the fault-path rules are *meant* to burn during the
+#: outage — that is what ties alerts to the DEGRADED transition —
+#: while the recovery rules (park drained, MTTR ceiling, stall tail)
+#: must hold once the campaign ends.
+KONA_SLOS: Tuple[SLORule, ...] = (
+    SLORule(name="no-degraded-pages", metric="faults.degraded_pages",
+            kind="rate", op="<=", bound=0.0,
+            description="no page degrades to fault-on-access"),
+    SLORule(name="no-replica-failovers", metric="faults.replica_failovers",
+            kind="rate", op="<=", bound=0.0,
+            description="no fetch fails over to a replica"),
+    SLORule(name="no-eviction-backpressure",
+            metric="health.backpressure_stalls",
+            kind="rate", op="<=", bound=0.0,
+            description="the writeback park never stalls the app"),
+    SLORule(name="park-drained", metric="health.parked_records",
+            kind="level", op="<=", bound=0.0,
+            description="no dirty records parked awaiting a dead node"),
+    SLORule(name="access-stall-p99", metric="kona_access_stall_ns",
+            kind="quantile", op="<=", bound=60_000.0, quantile=0.99,
+            description="p99 miss stall stays under 60 us"),
+    SLORule(name="mttr-ceiling", metric="health.mttr_ns",
+            kind="level", op="<=", bound=2_000_000.0,
+            description="mean time to repair stays under 2 ms"),
+)
+
+
+@dataclass
+class ControlReport:
+    """Everything one control-tower campaign produced."""
+
+    result: CampaignResult
+    recorder: FlightRecorder
+    engine: SLOEngine
+    trace_profile: ProfileReport
+    annotated_transitions: List[Tuple[float, str, Dict[str, Any]]]
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Every alert raised (hook plus sweep), in time order."""
+        return sorted(self.engine.alerts, key=lambda a: (a.at_ns, a.rule))
+
+    def degraded_alerts(self) -> List[str]:
+        """Alert briefs attached to DEGRADED transitions.
+
+        Non-empty means the burn-rate alerting explained at least one
+        degradation *at the instant it happened* — the acceptance
+        check behind ``repro slo``.
+        """
+        briefs: List[str] = []
+        for _, state, context in self.annotated_transitions:
+            if state == "DEGRADED":
+                briefs.extend(context.get("alerts", []))
+        return briefs
+
+    def verdict_rows(self) -> List[Tuple[str, str, str, str]]:
+        """(rule, objective, measured good fraction, met) table rows."""
+        by_name = {rule.name: rule for rule in self.engine.rules}
+        return [(name, f"{by_name[name].objective:.3f}",
+                 f"{good_fraction:.3f}", "met" if met else "VIOLATED")
+                for name, good_fraction, met in self.engine.verdicts()]
+
+
+def run_control(seed: int = 0, ops: int = 8_000,
+                rules: Optional[Sequence[SLORule]] = None,
+                sample_interval_ns: float = SAMPLE_INTERVAL_NS,
+                max_events: int = 500_000) -> ControlReport:
+    """Run the SLO-monitored chaos campaign; returns a ControlReport.
+
+    The SLO engine is attached to the health monitor *before* the
+    first access, so every health transition is annotated with the
+    alerts firing at that instant; after the campaign a full sweep
+    replays the sampled series so the alert timeline is complete.
+    """
+    recorder = FlightRecorder(tracing=True,
+                              sample_interval_ns=sample_interval_ns,
+                              max_events=max_events)
+    wiring: Dict[str, Any] = {}
+
+    def attach_engine(runtime) -> None:
+        """Bind the SLO engine to this campaign's health monitor."""
+        engine = SLOEngine(recorder.tsdb,
+                           list(rules if rules is not None else KONA_SLOS),
+                           registry=recorder.registry,
+                           sampler=recorder.sampler)
+        engine.attach(runtime.health)
+        wiring["engine"] = engine
+
+    result = run_chaos(seed=seed, ops=ops, recorder=recorder,
+                       on_runtime=attach_engine)
+    engine: SLOEngine = wiring["engine"]
+    engine.sweep()
+    return ControlReport(
+        result=result,
+        recorder=recorder,
+        engine=engine,
+        trace_profile=profile(recorder.tracer.events),
+        annotated_transitions=list(result.health_transitions),
+    )

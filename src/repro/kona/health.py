@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import List, Optional, Tuple
 
+from typing import Any, Callable, Dict
+
 from ..common.clock import SimClock
 from ..common.errors import SimulationError
 from ..common.stats import Counter
@@ -66,6 +68,8 @@ class HealthMonitor:
         self.state = HealthState.HEALTHY
         self.counters = Counter()
         self.transitions: List[Tuple[float, str]] = []
+        self.transition_context: List[Dict[str, Any]] = []
+        self.context_providers: List[Callable[[str], Dict[str, Any]]] = []
         self.incidents: List[Incident] = []
         self._entered_at = clock.now
         self._degraded_at: Optional[float] = None
@@ -104,6 +108,24 @@ class HealthMonitor:
             self._degraded_reason = ""
         self.counters.add("recoveries_completed")
 
+    def add_context_provider(
+            self, provider: Callable[[str], Dict[str, Any]]) -> None:
+        """Attach a context source consulted on every transition.
+
+        ``provider(new_state_name)`` returns a dict merged into the
+        transition's context — this is how the SLO engine
+        (:meth:`repro.obs.slo.SLOEngine.attach`) makes DEGRADED /
+        RECOVERING transitions carry the alerts active at that instant.
+        """
+        self.context_providers.append(provider)
+
+    @property
+    def annotated_transitions(self) -> List[Tuple[float, str,
+                                                  Dict[str, Any]]]:
+        """(ns, state, context) per transition, in order."""
+        return [(ts, name, ctx) for (ts, name), ctx
+                in zip(self.transitions, self.transition_context)]
+
     def _move(self, to: HealthState, reason: str = "") -> None:
         if (self.state, to) not in _TRANSITIONS:
             raise SimulationError(
@@ -113,12 +135,21 @@ class HealthMonitor:
         self.state = to
         self._entered_at = self.clock.now
         self.transitions.append((self.clock.now, to.name))
+        context: Dict[str, Any] = {}
+        for provider in self.context_providers:
+            extra = provider(to.name)
+            if extra:
+                context.update(extra)
+        self.transition_context.append(context)
         if self.tracer is not None and self.tracer.enabled:
             # Health transitions live in the trace itself, so MTTR is
             # derivable from DEGRADED -> HEALTHY instants alone.
             args = {"from": came_from.name}
             if reason:
                 args["reason"] = reason
+            alerts = context.get("alerts")
+            if alerts:
+                args["alerts"] = list(alerts)
             self.tracer.instant(f"health.{to.name}", "health", **args)
 
     # -- reporting ---------------------------------------------------------------

@@ -1,11 +1,35 @@
-"""repro.obs — the flight-recorder subsystem.
+"""repro.obs — the flight-recorder and control-tower subsystem.
 
 Labeled metrics registry, sim-clock span tracing, periodic gauge
-sampling, and Chrome-trace / Prometheus / JSONL exporters.  See
-``docs/architecture.md`` (Observability) for the span model and
-export formats.
+sampling, and Chrome-trace / Prometheus / JSONL exporters; on top of
+them the analysis layer: the trace profiler (:mod:`repro.obs.analysis`),
+the run-to-run diff (:mod:`repro.obs.diff`), the time-series store
+(:mod:`repro.obs.tsdb`) and the SLO/burn-rate engine
+(:mod:`repro.obs.slo`).  See ``docs/architecture.md`` (Observability
+and Control tower) for the span model, export formats and data flow.
 """
 
+from .analysis import (
+    ProfileReport,
+    SpanNode,
+    SpanStat,
+    build_forest,
+    critical_path,
+    profile,
+    stall_windows,
+    top_stalls,
+)
+from .diff import (
+    BenchDelta,
+    DiffEntry,
+    DiffReport,
+    bench_regressions,
+    diff_bench,
+    diff_runs,
+    load_artifact,
+    run_artifact,
+    save_artifact,
+)
 from .export import (
     chrome_trace,
     jsonl_lines,
@@ -24,22 +48,45 @@ from .registry import (
     MetricsRegistry,
 )
 from .sampler import Sampler
+from .slo import Alert, SLOEngine, SLORule
 from .trace import NULL_SPAN, Span, Tracer, traced
+from .tsdb import TimeSeriesStore
 
 __all__ = [
+    "Alert",
+    "BenchDelta",
     "CounterMetric",
+    "DiffEntry",
+    "DiffReport",
     "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_SPAN",
+    "ProfileReport",
+    "SLOEngine",
+    "SLORule",
     "Sampler",
     "Span",
+    "SpanNode",
+    "SpanStat",
+    "TimeSeriesStore",
     "Tracer",
+    "bench_regressions",
+    "build_forest",
     "chrome_trace",
+    "critical_path",
+    "diff_bench",
+    "diff_runs",
     "jsonl_lines",
+    "load_artifact",
+    "profile",
     "prometheus_text",
+    "run_artifact",
+    "save_artifact",
+    "stall_windows",
+    "top_stalls",
     "traced",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -1,0 +1,227 @@
+"""Trace-analysis profiler: self time, critical paths, stall windows.
+
+The tracer records a flat list of Chrome-style complete events
+(``ph: "X"``) on one virtual timeline — children strictly inside their
+parents, siblings laid out sequentially by the cursor discipline (see
+:mod:`repro.obs.trace`).  This module rebuilds the span forest from
+that flat list and answers the questions the raw timeline cannot:
+
+* **Self time vs total time** — a ``fetch.fill`` span *contains* its
+  ``rdma.read`` child, so summing durations double-counts.  Self time
+  is a span's duration minus its direct children's durations; summed
+  over the whole forest, self times reconstruct each root's duration
+  *exactly* (the profiler asserts this conservation and reports it as
+  ``coverage``).
+* **Critical-path extraction** — the chain from the longest root down
+  through each level's longest child: where an optimizer should look
+  first.
+* **Windowed stall attribution** — self time bucketed by span category
+  (``fetch``/``evict``/``rdma``/...) per fixed window of simulated
+  time, so a campaign's phases (healthy, degraded, recovering) show
+  as shifts in where the time goes.
+
+Nesting is reconstructed by a single sweep over events sorted by
+``(start, -duration)`` with a containment stack, so the profiler works
+on any schema-valid trace — including ones loaded back from a
+``trace.json`` written by an earlier run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+
+#: A raw tracer/Chrome event (timestamps in ns at this layer).
+Event = Dict[str, Any]
+
+
+@dataclass
+class SpanNode:
+    """One span in the reconstructed forest."""
+
+    name: str
+    cat: str
+    start_ns: float
+    dur_ns: float
+    depth: int = 0
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def end_ns(self) -> float:
+        """Span end timestamp."""
+        return self.start_ns + self.dur_ns
+
+    @property
+    def child_ns(self) -> float:
+        """Total duration of direct children."""
+        return sum(c.dur_ns for c in self.children)
+
+    @property
+    def self_ns(self) -> float:
+        """Duration not covered by direct children (clamped at 0)."""
+        return max(self.dur_ns - self.child_ns, 0.0)
+
+
+@dataclass
+class SpanStat:
+    """Aggregated totals for one span name (or category)."""
+
+    key: str
+    count: int = 0
+    total_ns: float = 0.0
+    self_ns: float = 0.0
+
+    def add(self, node: SpanNode) -> None:
+        """Fold one node into the aggregate."""
+        self.count += 1
+        self.total_ns += node.dur_ns
+        self.self_ns += node.self_ns
+
+
+def build_forest(events: Iterable[Event]) -> List[SpanNode]:
+    """Reconstruct the span forest from flat complete (``X``) events.
+
+    Events are sorted by start time with longer spans first on ties
+    (a parent opens at or before its children and outlives them), then
+    swept with a containment stack.  Non-``X`` events (instants,
+    counters, metadata) are ignored.
+    """
+    spans = [SpanNode(name=e["name"], cat=e.get("cat", "") or "span",
+                      start_ns=float(e["ts"]), dur_ns=float(e.get("dur", 0.0)))
+             for e in events if e.get("ph") == "X"]
+    spans.sort(key=lambda s: (s.start_ns, -s.dur_ns))
+    roots: List[SpanNode] = []
+    stack: List[SpanNode] = []
+    for span in spans:
+        while stack and span.start_ns >= stack[-1].end_ns:
+            stack.pop()
+        if stack:
+            span.depth = stack[-1].depth + 1
+            stack[-1].children.append(span)
+        else:
+            roots.append(span)
+        stack.append(span)
+    return roots
+
+
+def _walk(roots: List[SpanNode]) -> Iterable[SpanNode]:
+    stack = list(reversed(roots))
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+@dataclass
+class ProfileReport:
+    """Everything the profiler computed over one trace."""
+
+    roots: List[SpanNode]
+    by_name: Dict[str, SpanStat]
+    by_category: Dict[str, SpanStat]
+    total_ns: float          # sum of root durations (the traced time)
+    self_total_ns: float     # sum of every span's self time
+
+    @property
+    def coverage(self) -> float:
+        """Self-time conservation: ``self_total / total`` (1.0 when
+        the forest reconstructed cleanly; an empty trace reports 1.0)."""
+        if self.total_ns <= 0:
+            return 1.0
+        return self.self_total_ns / self.total_ns
+
+    def top_spans(self, n: int = 10,
+                  key: str = "self_ns") -> List[SpanStat]:
+        """The ``n`` heaviest span names by ``self_ns`` or ``total_ns``."""
+        if key not in ("self_ns", "total_ns"):
+            raise ConfigError(f"unknown sort key {key!r}")
+        return sorted(self.by_name.values(),
+                      key=lambda s: -getattr(s, key))[:n]
+
+    def top_categories(self, n: int = 10) -> List[SpanStat]:
+        """The ``n`` heaviest categories by self time."""
+        return sorted(self.by_category.values(),
+                      key=lambda s: -s.self_ns)[:n]
+
+
+def profile(events: Iterable[Event]) -> ProfileReport:
+    """Profile a flat event list into per-span and per-category stats."""
+    roots = build_forest(events)
+    by_name: Dict[str, SpanStat] = {}
+    by_cat: Dict[str, SpanStat] = {}
+    self_total = 0.0
+    for node in _walk(roots):
+        by_name.setdefault(node.name, SpanStat(node.name)).add(node)
+        by_cat.setdefault(node.cat, SpanStat(node.cat)).add(node)
+        self_total += node.self_ns
+    return ProfileReport(
+        roots=roots,
+        by_name=by_name,
+        by_category=by_cat,
+        total_ns=sum(r.dur_ns for r in roots),
+        self_total_ns=self_total,
+    )
+
+
+#: One critical-path step: (depth, name, cat, start ns, dur ns, self ns).
+PathStep = Tuple[int, str, str, float, float, float]
+
+
+def critical_path(roots: List[SpanNode]) -> List[PathStep]:
+    """The heaviest chain through the forest: longest root, then the
+    longest direct child at every level down to a leaf."""
+    if not roots:
+        return []
+    node: Optional[SpanNode] = max(roots, key=lambda r: r.dur_ns)
+    path: List[PathStep] = []
+    while node is not None:
+        path.append((node.depth, node.name, node.cat, node.start_ns,
+                     node.dur_ns, node.self_ns))
+        node = (max(node.children, key=lambda c: c.dur_ns)
+                if node.children else None)
+    return path
+
+
+#: One attribution window: (window-end ns, {category: self ns}).
+Window = Tuple[float, Dict[str, float]]
+
+
+def stall_windows(roots: List[SpanNode], window_ns: float,
+                  categories: Optional[Iterable[str]] = None
+                  ) -> List[Window]:
+    """Per-window self-time attribution by span category.
+
+    Each span's self time is attributed to the window containing its
+    *start* timestamp (spans here are orders of magnitude shorter than
+    a useful window, so prorating adds noise, not accuracy).  Pass
+    ``categories`` to restrict attribution to the stall-relevant
+    tracks, e.g. ``("fetch", "evict", "rdma", "net")``.  Windows with
+    no attributed time are skipped.
+    """
+    if window_ns <= 0:
+        raise ConfigError(f"attribution window must be positive, "
+                          f"got {window_ns}")
+    wanted = set(categories) if categories is not None else None
+    bins: Dict[int, Dict[str, float]] = {}
+    for node in _walk(roots):
+        if wanted is not None and node.cat not in wanted:
+            continue
+        ns = node.self_ns
+        if ns <= 0:
+            continue
+        idx = int(node.start_ns // window_ns)
+        bucket = bins.setdefault(idx, {})
+        bucket[node.cat] = bucket.get(node.cat, 0.0) + ns
+    return [((idx + 1) * window_ns, bins[idx]) for idx in sorted(bins)]
+
+
+def top_stalls(windows: List[Window], n: int = 3
+               ) -> List[Tuple[float, List[Tuple[str, float]]]]:
+    """Top-``n`` stall categories per window, heaviest first."""
+    out = []
+    for end_ns, by_cat in windows:
+        ranked = sorted(by_cat.items(), key=lambda kv: -kv[1])[:n]
+        out.append((end_ns, ranked))
+    return out

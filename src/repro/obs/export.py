@@ -30,21 +30,35 @@ _PHASES = {"X", "B", "E", "i", "I", "C", "M"}
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
+#: Virtual-timeline track ids: spans/instants vs sampled gauge series.
+_SPAN_TID = 1
+_COUNTER_TID = 2
+
+
 def chrome_trace(events: List[Dict[str, Any]],
                  process_name: str = "kona-sim") -> Dict[str, Any]:
     """Build a Chrome trace-event JSON object from tracer events.
 
     Tracer timestamps are simulated ns; the trace-event format wants
-    microseconds, so ``ts``/``dur`` are scaled by 1/1000.
+    microseconds, so ``ts``/``dur`` are scaled by 1/1000.  Metadata
+    (``M``) events name the process and both virtual tracks so
+    Perfetto labels them instead of showing bare pid/tid numbers;
+    counter (``C``) events land on their own track, keeping the gauge
+    graphs from interleaving with the span flame graph.
     """
-    out: List[Dict[str, Any]] = [{
-        "name": "process_name", "ph": "M", "pid": 1, "tid": 1, "ts": 0,
-        "args": {"name": process_name},
-    }]
+    out: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": _SPAN_TID,
+         "ts": 0, "args": {"name": process_name}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": _SPAN_TID,
+         "ts": 0, "args": {"name": "sim timeline (spans)"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": _COUNTER_TID,
+         "ts": 0, "args": {"name": "gauge samples"}},
+    ]
     for event in events:
         converted = dict(event)
         converted["pid"] = 1
-        converted["tid"] = 1
+        converted["tid"] = (_COUNTER_TID if event.get("ph") == "C"
+                            else _SPAN_TID)
         converted["ts"] = event["ts"] / 1e3
         if "dur" in event:
             converted["dur"] = event["dur"] / 1e3
@@ -140,8 +154,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             name += "_total"
         if family.help:
             lines.append(f"# HELP {name} {family.help}")
-        lines.append(f"# TYPE {name} "
-                     f"{'untyped' if family.kind == 'histogram' else family.kind}")
+        lines.append(f"# TYPE {name} {family.kind}")
         for labels, child in family.children():
             if isinstance(child, HistogramMetric):
                 cumulative = 0

@@ -17,6 +17,7 @@ from . import export
 from .registry import MetricsRegistry
 from .sampler import Sampler
 from .trace import Tracer
+from .tsdb import TimeSeriesStore
 
 
 class FlightRecorder:
@@ -31,10 +32,12 @@ class FlightRecorder:
         self.tracer = Tracer(self.clock, enabled=tracing,
                              max_events=max_events)
         self.sampler: Optional[Sampler] = None
+        self.tsdb: Optional[TimeSeriesStore] = None
         if sample_interval_ns is not None:
+            self.tsdb = TimeSeriesStore()
             self.sampler = Sampler(self.registry, tracer=self.tracer,
                                    interval_ns=sample_interval_ns,
-                                   clock=self.clock)
+                                   clock=self.clock, tsdb=self.tsdb)
 
     # -- wiring -------------------------------------------------------------------
 

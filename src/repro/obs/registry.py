@@ -86,6 +86,16 @@ class HistogramMetric:
     Buckets are powers of two: an observation ``v`` falls in the bucket
     with upper bound ``2**ceil(log2(v))``.  Values ``<= 0`` land in an
     underflow bucket with bound 0.
+
+    Exactness contract: ``sum``, ``count``, ``min`` and ``max`` are
+    tracked exactly per observation, so :attr:`mean` is *exact* — only
+    :meth:`quantile` is bucket-estimated.  Its error bound: the true
+    quantile lies in ``(upper/2, upper]`` for the selected bucket and
+    the estimate is the geometric midpoint ``0.75 * upper``, so the
+    relative error is at most 50% (estimate vs a true value of
+    ``upper/2``) and at most 25% against the bucket's upper bound;
+    clamping to the observed min/max makes single-sample and
+    single-bucket-edge histograms exact.
     """
 
     __slots__ = ("_buckets", "count", "sum", "min", "max")
@@ -164,10 +174,26 @@ class HistogramMetric:
 
     @property
     def mean(self) -> float:
-        """Mean of all observations (``nan`` when empty)."""
+        """Exact mean of all observations (``nan`` when empty)."""
         if self.count == 0:
             return float("nan")
         return self.sum / self.count
+
+    def snapshot(self) -> Dict[str, float]:
+        """One flat dict of the summary stats (for diffs/artifacts).
+
+        ``count``/``sum``/``mean``/``min``/``max`` are exact;
+        ``p50``/``p95``/``p99`` carry the bucket-estimate error bound
+        documented on the class.  Empty histograms report zeros so the
+        snapshot stays JSON-serializable.
+        """
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"count": self.count, "sum": self.sum, "mean": self.mean,
+                "min": self.min, "max": self.max,
+                "p50": self.p50, "p95": self.p95, "p99": self.p99}
 
 
 class MetricFamily:

@@ -2,9 +2,10 @@
 
 The sampler turns the registry's point-in-time gauges into a time
 series: every ``interval_ns`` of simulated time it snapshots all
-numeric gauges, appends a row to :attr:`Sampler.samples`, and (when a
-tracer is recording) emits Chrome counter events so the series shows
-up as graphs in Perfetto alongside the spans.
+numeric gauges, appends a row to :attr:`Sampler.samples`, feeds the
+attached :class:`~repro.obs.tsdb.TimeSeriesStore` (when one is bound),
+and (when a tracer is recording) emits Chrome counter events so the
+series shows up as graphs in Perfetto alongside the spans.
 
 The sampler never schedules anything itself — the runtime's existing
 periodic maintenance tick calls :meth:`maybe_sample`, which is a cheap
@@ -19,6 +20,7 @@ from ..common.clock import SimClock
 from ..common.errors import ConfigError
 from .registry import MetricsRegistry
 from .trace import Tracer
+from .tsdb import TimeSeriesStore
 
 
 class Sampler:
@@ -27,7 +29,8 @@ class Sampler:
     def __init__(self, registry: MetricsRegistry,
                  tracer: Optional[Tracer] = None,
                  interval_ns: float = 1_000_000.0,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 tsdb: Optional[TimeSeriesStore] = None) -> None:
         if interval_ns <= 0:
             raise ConfigError(f"sample interval must be positive, "
                               f"got {interval_ns}")
@@ -35,6 +38,7 @@ class Sampler:
         self.tracer = tracer
         self.interval_ns = interval_ns
         self.clock = clock if clock is not None else registry.clock
+        self.tsdb = tsdb
         self.samples: List[Tuple[float, Dict[str, float]]] = []
         self._next_due = 0.0
 
@@ -57,6 +61,8 @@ class Sampler:
                 name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}")
             row[key] = float(value)
         self.samples.append((self.clock.now, row))
+        if self.tsdb is not None:
+            self.tsdb.append_row(self.clock.now, row)
         if self.tracer is not None and self.tracer.enabled:
             for key, value in row.items():
                 self.tracer.counter(key, value=value)

@@ -56,7 +56,8 @@ class TestExecution:
 
     def test_bench_quick_writes_report(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"
-        assert main(["bench", "--quick", "--output", str(out_path)]) == 0
+        assert main(["bench", "--quick", "--output", str(out_path),
+                     "--history", "none"]) == 0
         out = capsys.readouterr().out
         assert "uniform-stress" in out and "speedup" in out
         assert out_path.exists()
@@ -65,7 +66,84 @@ class TestExecution:
         out_path = tmp_path / "bench.json"
         with pytest.raises(SystemExit):
             main(["bench", "--quick", "--output", str(out_path),
-                  "--min-speedup", "1000"])
+                  "--history", "none", "--min-speedup", "1000"])
+
+    def test_bench_history_appended(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", "--quick", "--output", str(out_path),
+                     "--history", str(history)]) == 0
+        import json
+        records = [json.loads(line)
+                   for line in history.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["benchmark"] == "kcachesim-engine-bench"
+        assert records[0]["cases"][0]["speedup"] > 0
+
+    def test_profile_prints_self_time(self, capsys):
+        assert main(["profile", "--trace-ops", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "self-time coverage: 1.0000" in out
+        assert "rdma" in out
+
+    def test_perfdiff_identical_seeds_clean(self, capsys):
+        assert main(["perfdiff", "--trace-ops", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "0 significant" in out
+        assert "clean" in out
+
+    def test_perfdiff_artifacts_and_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import save_artifact
+
+        a = {"format": "repro-run-artifact", "version": 1,
+             "metrics": {"x": 1.0}, "histograms": {}, "meta": {}}
+        b = {"format": "repro-run-artifact", "version": 1,
+             "metrics": {"x": 5.0}, "histograms": {}, "meta": {}}
+        save_artifact(a, str(tmp_path / "a.json"))
+        save_artifact(b, str(tmp_path / "b.json"))
+        report = tmp_path / "diff.json"
+        with pytest.raises(SystemExit):
+            main(["perfdiff", "--run-a", str(tmp_path / "a.json"),
+                  "--run-b", str(tmp_path / "b.json"),
+                  "--report", str(report)])
+        out = capsys.readouterr().out
+        assert "NOT clean" in out
+        payload = json.loads(report.read_text())
+        assert payload["clean"] is False
+        assert payload["significant"][0]["name"] == "x"
+
+    def test_perfdiff_bench_gate_from_history(self, capsys, tmp_path):
+        import json
+
+        baseline = {"benchmark": "demo-bench",
+                    "cases": [{"workload": "hot", "speedup": 6.0}]}
+        base_path = tmp_path / "BENCH_demo.json"
+        base_path.write_text(json.dumps(baseline))
+        history = tmp_path / "history.jsonl"
+        history.write_text(json.dumps(
+            {"benchmark": "demo-bench",
+             "cases": [{"workload": "hot", "speedup": 5.0}]}) + "\n")
+        assert main(["perfdiff", "--against", str(base_path),
+                     "--history", str(history)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+        history.write_text(json.dumps(
+            {"benchmark": "demo-bench",
+             "cases": [{"workload": "hot", "speedup": 1.0}]}) + "\n")
+        with pytest.raises(SystemExit):
+            main(["perfdiff", "--against", str(base_path),
+                  "--history", str(history)])
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_slo_prints_alerts_and_verdicts(self, capsys):
+        assert main(["slo", "--trace-ops", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "burn" in out
+        assert "SLO compliance" in out
+        assert "DEGRADED transition explained by" in out
 
     def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
         import json

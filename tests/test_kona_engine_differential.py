@@ -114,6 +114,22 @@ class TestConfigurationMatrix:
             return build_runtime(recorder=rec)
         assert_identical(make_rt, mapped_hot_trace())
 
+    def test_tsdb_sample_timelines_identical(self):
+        # The time-series store is fed from the sampler on the sim
+        # clock, so both engines must produce the same timeline:
+        # same timestamps, same gauge values, point for point.
+        stores = {}
+        for engine in ("scalar", "batched"):
+            rec = FlightRecorder(tracing=True, sample_interval_ns=10_000.0)
+            rt = build_runtime(recorder=rec)
+            region = rt.mmap(32 * u.MB)
+            addrs, writes = hot_trace(N, 32 * u.MB)
+            rt.run_trace(addrs + np.int64(region.start), writes,
+                         engine=engine)
+            stores[engine] = rec.tsdb.as_dict()
+        assert stores["scalar"]
+        assert stores["scalar"] == stores["batched"]
+
 
 class TestEngineContract:
     def test_batched_is_default(self):
