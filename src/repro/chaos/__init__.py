@@ -14,8 +14,12 @@ from .invariants import (
     InvariantCheck,
     amat_recovered,
     check_all,
+    epochs_monotonic,
     fully_recovered,
+    no_acknowledged_write_lost,
     no_scatter_loss,
+    no_unrepaired_corruption,
+    replication_restored,
     writeback_conservation,
 )
 
@@ -25,7 +29,11 @@ __all__ = [
     "InvariantCheck",
     "amat_recovered",
     "check_all",
+    "epochs_monotonic",
     "fully_recovered",
+    "no_acknowledged_write_lost",
     "no_scatter_loss",
+    "no_unrepaired_corruption",
+    "replication_restored",
     "writeback_conservation",
 ]

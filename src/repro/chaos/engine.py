@@ -100,10 +100,30 @@ class ChaosEngine:
     # -- campaign scripting ------------------------------------------------------
 
     def kill_node(self, at_ns: float, node: str) -> None:
-        """Crash a memory node at ``at_ns`` (simulated)."""
+        """Crash a memory node at ``at_ns`` (simulated).
+
+        With replication on, the crash immediately triggers the
+        controller's failover path: backups are promoted (after the
+        lease fence) and parked writebacks are redirected.
+        """
+        def action() -> None:
+            self.runtime.controller.node(node).fail()
+            self.runtime.on_memnode_failure(node)
         self._mark_fault(at_ns)
-        self.schedule.at(at_ns, f"kill:{node}",
-                         lambda: self.runtime.controller.node(node).fail())
+        self.schedule.at(at_ns, f"kill:{node}", action)
+
+    def corrupt_data(self, at_ns: float, node: str, lines: int) -> None:
+        """Silently corrupt stored lines on a memnode (bit rot).
+
+        Payload bits flip without updating checksums, so the damage is
+        latent until a fetch-time verify or the recovery scrub catches
+        it and read-repairs from a replica.
+        """
+        self._mark_fault(at_ns)
+        self.schedule.at(
+            at_ns, f"corrupt:{node}:{lines}",
+            lambda: self.runtime.controller.node(node).corrupt_lines(
+                lines, seed=self.seed))
 
     def recover_node(self, at_ns: float, node: str) -> None:
         """Restart a crashed node; the engine then runs recovery."""

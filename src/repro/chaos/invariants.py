@@ -85,14 +85,99 @@ def amat_recovered(pre_fault_amat_ns: float, post_recovery_amat_ns: float,
                 f"tolerance={tolerance:.2f}"))
 
 
+def epochs_monotonic(runtime) -> InvariantCheck:
+    """Every replica set's epoch history only ever increased.
+
+    A non-monotonic epoch would mean two nodes could both believe they
+    are primary for the same window — split brain, the failure the
+    lease fence exists to rule out.
+    """
+    replication = runtime.replication
+    return InvariantCheck(
+        name="epochs_monotonic",
+        passed=replication.epochs_monotonic(),
+        detail=(f"max_epoch={replication.max_epoch} "
+                f"promotions={replication.counters['promotions']}"))
+
+
+def replication_restored(runtime) -> InvariantCheck:
+    """The replication factor was rebuilt on live nodes everywhere."""
+    replication = runtime.replication
+    passed = (replication.fully_replicated()
+              and replication.backlog_slots == 0)
+    return InvariantCheck(
+        name="replication_restored",
+        passed=passed,
+        detail=(f"factor={replication.replication_factor} "
+                f"backlog_slots={replication.backlog_slots} "
+                f"rereplicated={replication.counters['slots_rereplicated']}"))
+
+
+def no_unrepaired_corruption(runtime) -> InvariantCheck:
+    """Every checksum mismatch was read-repaired from a replica."""
+    replication = runtime.replication
+    mismatches = replication.counters["checksum_mismatches"]
+    repairs = replication.counters["read_repairs"]
+    unrepaired = replication.counters["unrepaired_corruption"]
+    return InvariantCheck(
+        name="no_unrepaired_corruption",
+        passed=unrepaired == 0,
+        detail=(f"mismatches={mismatches} repairs={repairs} "
+                f"unrepaired={unrepaired}"))
+
+
+def no_acknowledged_write_lost(runtime) -> InvariantCheck:
+    """Every acknowledged writeback survives in the cluster image.
+
+    The data plane remembers, per line, the highest version whose
+    writeback a memory node acknowledged; the current primaries must
+    hold each such line at that version or newer, with the payload the
+    version implies.  This is the durability ledger the paper's
+    replication design promises (section 4.5).
+    """
+    content = runtime.content
+    replication = runtime.replication
+    if content is None:
+        return InvariantCheck(name="no_acknowledged_write_lost",
+                              passed=True,
+                              detail="no data plane attached (vacuous)")
+    image = replication.image()
+    lost = 0
+    checked = 0
+    for addr, acked_version in content.acknowledged.items():
+        if acked_version < 1:
+            continue
+        checked += 1
+        stored = image.get(addr)
+        if stored is None or stored[0] < acked_version:
+            lost += 1
+    return InvariantCheck(
+        name="no_acknowledged_write_lost",
+        passed=lost == 0,
+        detail=f"acked_lines={checked} lost={lost}")
+
+
 def check_all(runtime, pre_fault_amat_ns: float,
               post_recovery_amat_ns: float,
               tolerance: float = 0.25) -> List[InvariantCheck]:
-    """Run the full recovery-invariant suite against a runtime."""
-    return [
+    """Run the full recovery-invariant suite against a runtime.
+
+    The replication invariants only apply when the runtime actually
+    carries a replication manager; an unreplicated runtime is judged on
+    the base durability ledger alone.
+    """
+    checks = [
         writeback_conservation(runtime),
         no_scatter_loss(runtime),
         fully_recovered(runtime),
         amat_recovered(pre_fault_amat_ns, post_recovery_amat_ns,
                        tolerance=tolerance),
     ]
+    if getattr(runtime, "replication", None) is not None:
+        checks.extend([
+            epochs_monotonic(runtime),
+            replication_restored(runtime),
+            no_unrepaired_corruption(runtime),
+            no_acknowledged_write_lost(runtime),
+        ])
+    return checks

@@ -9,6 +9,8 @@ Usage::
     python -m repro fig11a | fig11b | fig11c
     python -m repro sections
     python -m repro chaos [--seed 0] [--ops 30000]
+                          [--campaign node-failure|memnode-failover]
+                          [--trace-out FILE]
     python -m repro sweep [--processes N] [--ops 40000]
     python -m repro bench [--suite kcachesim|runtime] [--quick]
                           [--min-speedup 1.0] [--output FILE]
@@ -36,6 +38,7 @@ from . import units
 from .analysis import paper, render_comparison, render_series, render_table
 from .experiments import (
     run_chaos,
+    run_failover,
     run_fig7,
     run_fig8_amat,
     run_fig8d_blocksize,
@@ -204,7 +207,10 @@ def cmd_sections(args: argparse.Namespace) -> None:
 
 
 def cmd_chaos(args: argparse.Namespace) -> None:
-    """Section 4.5 chaos campaign: node failure, durability, recovery."""
+    """Section 4.5 chaos campaigns: node failure or memnode failover."""
+    if args.campaign == "memnode-failover":
+        _chaos_failover(args)
+        return
     result = run_chaos(seed=args.seed, ops=args.ops)
     print(render_table(
         ["t (us)", "event"],
@@ -221,6 +227,32 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     verdict = "held" if result.passed else "VIOLATED"
     print(f"\nRecovery invariants {verdict}.")
     if not result.passed:
+        raise SystemExit(1)
+
+
+def _chaos_failover(args: argparse.Namespace) -> None:
+    """The replicated memnode-failover durability campaign."""
+    failover = run_failover(seed=args.seed, ops=args.ops,
+                            tracing=args.trace_out is not None)
+    result = failover.result
+    print(render_table(
+        ["t (us)", "event"],
+        [(round(t / 1e3, 1), label) for t, label in result.timeline],
+        title=f"Failover campaign timeline (seed {result.seed})"))
+    print()
+    print(render_table(["metric", "value"], failover.rows(),
+                       title="Durability proof"))
+    print()
+    print(render_table(
+        ["rule", "objective", "good fraction", "verdict"],
+        failover.verdict_rows(), title="Failover SLOs"))
+    if args.trace_out:
+        path = failover.recorder.write_chrome_trace(args.trace_out)
+        print(f"\nchrome trace: {path}")
+    verdict = ("held — final image bit-identical to the no-fault oracle"
+               if failover.passed else "VIOLATED")
+    print(f"\nDurability invariants and SLOs {verdict}.")
+    if not failover.passed:
         raise SystemExit(1)
 
 
@@ -513,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="data operations for AMAT simulations")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed for the chaos command")
+    parser.add_argument("--campaign",
+                        choices=["node-failure", "memnode-failover"],
+                        default="node-failure",
+                        help="chaos: which fault campaign to run")
+    parser.add_argument("--trace-out", default=None,
+                        help="chaos: write a Chrome trace of the "
+                             "failover campaign to this path")
     parser.add_argument("--processes", type=int, default=None,
                         help="worker processes for the sweep command "
                              "(default: cpu count)")

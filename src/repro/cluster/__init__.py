@@ -10,19 +10,39 @@ from .placement import (
     imbalance,
     make_placement,
 )
+from .replication import (
+    DataPlane,
+    FailoverReport,
+    Lease,
+    LineStore,
+    ReplicaSet,
+    ReplicationManager,
+    StoredLine,
+    line_checksum,
+    line_payload,
+)
 from .slab import DEFAULT_SLAB_BYTES, Slab, SlabPool
 
 __all__ = [
     "DEFAULT_SLAB_BYTES",
+    "DataPlane",
+    "FailoverReport",
     "FirstFitPlacement",
+    "Lease",
     "LeastLoadedPlacement",
+    "LineStore",
     "MemoryNode",
     "PLACEMENTS",
     "RackController",
+    "ReplicaSet",
+    "ReplicationManager",
     "RoundRobinPlacement",
     "Slab",
     "SlabPool",
+    "StoredLine",
     "UnpackReceipt",
     "imbalance",
+    "line_checksum",
+    "line_payload",
     "make_placement",
 ]

@@ -19,6 +19,7 @@ from ..common.stats import Counter
 from ..mem.address import AddressRange
 from ..net.fabric import Fabric
 from ..net.ring import LogRecord, RingBufferLog
+from .replication import LineStore
 from .slab import DEFAULT_SLAB_BYTES, Slab, SlabPool
 
 
@@ -51,6 +52,10 @@ class MemoryNode:
         self.log = RingBufferLog()
         self.counters = Counter()
         self._failed = False
+        #: Replicated content: VFMem line -> versioned, checksummed
+        #: payload.  Populated by the log receiver for records carrying
+        #: a VFMem address; the durability proof reads it back.
+        self.store = LineStore()
         #: Optional content store: remote_addr line -> payload hash,
         #: used by integration tests to verify scatter correctness.
         self._lines: Dict[int, int] = {}
@@ -67,6 +72,7 @@ class MemoryNode:
         self._failed = False
         self.fabric.recover_node(self.name)
         self._lines.clear()
+        self.store.clear()
 
     def _check_alive(self) -> None:
         if self._failed:
@@ -112,6 +118,9 @@ class MemoryNode:
         if store_payloads:
             for record in records:
                 self._lines[record.remote_addr] = record.remote_addr
+        for record in records:
+            if record.vfmem_addr >= 0:
+                self.store.apply(record)
         freed = self.log.acknowledge()
         self.counters.add("records_scattered", len(records))
         return UnpackReceipt(records=len(records), unpack_ns=unpack_ns,
@@ -120,3 +129,25 @@ class MemoryNode:
     def stored_line_count(self) -> int:
         """Lines scattered with ``store_payloads=True`` (test hook)."""
         return len(self._lines)
+
+    # -- chaos hooks -----------------------------------------------------------------
+
+    def corrupt_lines(self, count: int, seed: int = 0) -> int:
+        """Silently corrupt up to ``count`` stored lines (bit rot).
+
+        The chaos engine's ``data_corruption`` fault lands here: payload
+        bits flip, checksums do not, so the damage stays latent until a
+        verify or scrub catches it.  Selection is seeded for replay.
+        """
+        addresses = self.store.addresses()
+        if not addresses or count <= 0:
+            return 0
+        step = max(1, (seed * 2 + 1)) % max(len(addresses), 1) or 1
+        corrupted = 0
+        index = seed % len(addresses)
+        for _ in range(min(count, len(addresses))):
+            if self.store.corrupt(addresses[index % len(addresses)]):
+                corrupted += 1
+            index += step
+        self.counters.add("lines_corrupted", corrupted)
+        return corrupted

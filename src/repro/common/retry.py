@@ -40,6 +40,11 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_backoff_ns: float = 1_000_000.0
     jitter: float = 0.2
+    #: Total-deadline budget: cumulative backoff across one call may
+    #: not exceed this many simulated ns (0 = unbounded).  A fenced or
+    #: partitioned replica then fails over in bounded time instead of
+    #: serving out its whole attempt schedule.
+    max_total_backoff_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -50,6 +55,8 @@ class RetryPolicy:
             raise ConfigError("backoff multiplier must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ConfigError("jitter must be in [0, 1)")
+        if self.max_total_backoff_ns < 0:
+            raise ConfigError("max_total_backoff_ns must be non-negative")
 
     def backoff_ns(self, attempt: int, rng: np.random.Generator) -> float:
         """Backoff after the zero-based ``attempt``, jittered from ``rng``."""
@@ -94,8 +101,11 @@ class Retrier:
         kept in :attr:`last_outcome`.
         """
         backoff_total = 0.0
+        deadline = self.policy.max_total_backoff_ns
         last_error: Optional[NetworkError] = None
+        attempts_used = 0
         for attempt in range(self.policy.max_attempts):
+            attempts_used = attempt + 1
             try:
                 value = fn()
             except NetworkError as error:
@@ -103,6 +113,16 @@ class Retrier:
                 self.counters.add("failed_attempts")
                 if attempt + 1 < self.policy.max_attempts:
                     wait = self.policy.backoff_ns(attempt, self._rng)
+                    if deadline > 0.0:
+                        remaining = deadline - backoff_total
+                        if remaining <= 0.0:
+                            # Budget already spent: stop retrying early.
+                            self.counters.add("deadline_exceeded")
+                            break
+                        # Clamp the final wait to the remaining budget.
+                        if wait > remaining:
+                            wait = remaining
+                            self.counters.add("deadline_clamps")
                     backoff_total += wait
                     if self.clock is not None:
                         self.clock.advance(wait)
@@ -115,8 +135,8 @@ class Retrier:
                                              backoff_ns=backoff_total)
             return value
         self.counters.add("exhausted")
-        self.last_outcome = RetryOutcome(attempts=self.policy.max_attempts,
+        self.last_outcome = RetryOutcome(attempts=attempts_used,
                                          backoff_ns=backoff_total)
         raise RetryExhausted(
-            f"gave up after {self.policy.max_attempts} attempts: "
-            f"{last_error}") from last_error
+            f"gave up after {attempts_used} attempts "
+            f"({backoff_total:.0f} ns backoff): {last_error}") from last_error

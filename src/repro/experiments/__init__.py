@@ -18,6 +18,12 @@ from .bench import (
 )
 from .chaos import build_chaos_runtime, chaos_stream, run_chaos
 from .control import KONA_SLOS, ControlReport, run_control
+from .failover import (
+    FAILOVER_SLOS,
+    FailoverResult,
+    build_failover_runtime,
+    run_failover,
+)
 from .fig7 import Fig7Result, run_fig7
 from .flight import instant_summary, run_flight, span_summary
 from .fig8 import Fig8Result, run_fig8_amat, run_fig8d_blocksize
@@ -37,6 +43,8 @@ from .sections import (
 __all__ = [
     "BenchCase",
     "ControlReport",
+    "FAILOVER_SLOS",
+    "FailoverResult",
     "Fig10Result",
     "Fig11Result",
     "Fig7Result",
@@ -49,6 +57,7 @@ __all__ = [
     "Table2Result",
     "append_history",
     "build_chaos_runtime",
+    "build_failover_runtime",
     "chaos_stream",
     "check_speedup",
     "instant_summary",
@@ -57,6 +66,7 @@ __all__ = [
     "run_case",
     "run_chaos",
     "run_control",
+    "run_failover",
     "run_fig10",
     "run_fig11",
     "run_fig11c_breakdown",

@@ -72,6 +72,29 @@ class RemoteTranslationMap:
                     raise ConfigError("replica slab size mismatch")
             self._replicas[slot] = list(replicas)
 
+    def rebind(self, vfmem_addr: int, slab: Slab,
+               replicas: Optional[List[Slab]] = None) -> None:
+        """Atomically repoint a bound window (replica promotion).
+
+        The replication manager writes the new membership here after a
+        failover, so the FPGA's next lookup — fetch or writeback —
+        already routes to the promoted primary.
+        """
+        slot = self._slot_of(vfmem_addr)
+        if slot not in self._slots:
+            raise TranslationError(f"VFMem slot {slot} not bound")
+        if slab.size != self.slab_bytes:
+            raise ConfigError(
+                f"slab size {slab.size} != map slab_bytes {self.slab_bytes}")
+        self._slots[slot] = slab
+        if replicas:
+            for replica in replicas:
+                if replica.size != self.slab_bytes:
+                    raise ConfigError("replica slab size mismatch")
+            self._replicas[slot] = list(replicas)
+        else:
+            self._replicas.pop(slot, None)
+
     def unbind(self, vfmem_addr: int) -> Tuple[Slab, List[Slab]]:
         """Remove a window's binding; returns (primary, replicas)."""
         slot = self._slot_of(vfmem_addr)

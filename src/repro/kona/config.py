@@ -53,6 +53,18 @@ class KonaConfig:
     retry_base_backoff_ns: float = 4_000.0
     #: Seed of the retry-jitter RNG (campaign determinism).
     retry_seed: int = 0
+    #: Total-deadline budget on cumulative retry backoff per call
+    #: (0 = unbounded).  Keeps fenced/partitioned replicas from
+    #: retrying past the failover window inside a campaign.
+    retry_deadline_ns: float = 0.0
+
+    # Replication & failover (memnode failure recovery)
+    #: Primaryship lease TTL on the simulated clock.  Promotion after
+    #: a primary crash must wait out the dead node's lease, so this is
+    #: the floor of the modeled failover unavailability window.
+    lease_ttl_ns: float = 50_000.0
+    #: Slots re-replicated per background maintenance tick.
+    rereplication_slots_per_tick: int = 1
 
     # Tracking
     eager_upgrade_tracking: bool = False
@@ -93,6 +105,12 @@ class KonaConfig:
             raise ConfigError("retry_max_attempts must be >= 1")
         if self.retry_base_backoff_ns < 0:
             raise ConfigError("retry_base_backoff_ns must be non-negative")
+        if self.retry_deadline_ns < 0:
+            raise ConfigError("retry_deadline_ns must be non-negative")
+        if self.lease_ttl_ns <= 0:
+            raise ConfigError("lease_ttl_ns must be positive")
+        if self.rereplication_slots_per_tick < 1:
+            raise ConfigError("rereplication_slots_per_tick must be >= 1")
         if self.protocol not in ("msi", "mesi", "moesi"):
             raise ConfigError(
                 f"unknown protocol {self.protocol!r}; "

@@ -161,6 +161,14 @@ class EvictionHandler:
         self.tracer = tracer
         self.stats = EvictionStats()
         self.counters = Counter()
+        #: Replication manager (set by the runtime when the factor > 1):
+        #: routes writebacks by epoch, fences stale ones, mirrors
+        #: delivered batches to backup stores.
+        self.replication = None
+        #: Data plane (set by ``KonaRuntime.attach_data_plane``): stamps
+        #: records with line versions/payloads and keeps the
+        #: acknowledged-write ledger for durability proofs.
+        self.content = None
         # Pending log records per destination node, staged in the
         # RDMA-registered buffer until a batch is worth a doorbell.
         self._pending: Dict[str, List[LogRecord]] = {}
@@ -242,6 +250,17 @@ class EvictionHandler:
         self.stats.account.charge("rdma_write", wire)
         self._emit("rdma.write", wire, nbytes=page * len(live),
                    full_page=True)
+        if self.content is not None and self.controller is not None:
+            # A whole-page write lands every written line's current
+            # content on each live copy; the store fences versions, so
+            # applying the same page twice is harmless.
+            full_mask = (1 << units.LINES_PER_PAGE) - 1
+            records = self._records_for(vfmem_page_addr, full_mask, live[0])
+            for location in live:
+                store = self.controller.node(location.node).store
+                for record in records:
+                    store.apply(record)
+            self.content.acknowledge(records)
         return copy + wire
 
     # -- cache-line log path --------------------------------------------------------------
@@ -296,21 +315,45 @@ class EvictionHandler:
         return self._flush_records(node, records)
 
     def _flush_records(self, node: str, records: List[LogRecord]) -> float:
+        elapsed = 0.0
+        if self.replication is not None:
+            # Epoch fence: records stamped under a deposed primary are
+            # re-stamped and rerouted to the promoted one before they
+            # touch the wire.
+            records, moved = self.replication.redirect_records(node, records)
+            for target, batch in moved.items():
+                self.counters.add("lines_redirected", len(batch))
+                self._pending.setdefault(target, []).extend(batch)
+                elapsed += self.flush_node(target)
+            if not records:
+                return elapsed
         if not self._node_alive(node):
             # The node died between staging and the doorbell: park
             # without burning the retry budget on a known-dead target.
             self.counters.add("flushes_deferred")
-            return self._park_records(node, records)
+            return elapsed + self._park_records(node, records)
         log_bytes = len(records) * RECORD_BYTES
-        replicas = max(self.config.replication_factor, 1)
-        # A pipelined producer exposes only the posting cost and part of
-        # the wire time (the NIC DMAs while the next batch is staged).
-        posting = self.latency.rdma_linked_wr_ns + self.latency.rdma_nic_wr_ns
-        wire = (posting + self.latency.log_wire_exposure
-                * self.latency.rdma_per_byte_ns * log_bytes)
-        # Replica writes are posted back-to-back; wire time overlaps but
-        # each extra replica adds a posting cost.
-        wire += (replicas - 1) * posting
+        if (self.replication is not None and self.content is not None
+                and self.fabric is not None):
+            # Fan the write out to the primary plus each slot's live
+            # backups; wire time overlaps, each extra destination adds
+            # a posting, the slowest injected link delay gates the ack.
+            dsts = [node] + self.replication.backup_nodes_for(records)
+            wire = self.fabric.replicated_log_write_cost_ns(
+                self.local_node, dsts, log_bytes)
+            replicas = len(dsts)
+        else:
+            replicas = max(self.config.replication_factor, 1)
+            # A pipelined producer exposes only the posting cost and
+            # part of the wire time (the NIC DMAs while the next batch
+            # is staged).
+            posting = (self.latency.rdma_linked_wr_ns
+                       + self.latency.rdma_nic_wr_ns)
+            wire = (posting + self.latency.log_wire_exposure
+                    * self.latency.rdma_per_byte_ns * log_bytes)
+            # Replica writes are posted back-to-back; wire time overlaps
+            # but each extra replica adds a posting cost.
+            wire += (replicas - 1) * posting
         self.stats.account.charge("rdma_write", wire)
         self.stats.wire_bytes += log_bytes * replicas
         self._emit("rdma.write", wire, nbytes=log_bytes * replicas,
@@ -338,12 +381,17 @@ class EvictionHandler:
                     "flush_retries", self.retrier.last_outcome.attempts - 1)
                 self.stats.account.charge("retry_backoff", backoff_ns)
             self.counters.add("flush_failures")
-            return wire + backoff_ns + self._park_records(node, records)
+            return elapsed + wire + backoff_ns + self._park_records(
+                node, records)
+        if self.replication is not None:
+            self.replication.apply_to_backups(records)
+        if self.content is not None:
+            self.content.acknowledge(records)
         ack_exposed = self.latency.rdma_base_ns * 1.2
         self.stats.account.charge("ack_wait", ack_exposed)
         self._emit("evict.ack_wait", ack_exposed)
         self.counters.add("log_flushes")
-        return wire + backoff_ns + ack_exposed
+        return elapsed + wire + backoff_ns + ack_exposed
 
     def flush_all(self) -> float:
         """Flush every node's pending records (barrier/teardown)."""
@@ -391,12 +439,30 @@ class EvictionHandler:
 
     def _records_for(self, vfmem_page_addr: int, dirty_mask: int,
                      location: RemoteLocation) -> List[LogRecord]:
-        """Log records for a page's dirty lines, addressed at ``location``."""
+        """Log records for a page's dirty lines, addressed at ``location``.
+
+        With a data plane attached each record carries the line's VFMem
+        address, write version, current epoch and modeled payload, so
+        the receiving store can fence stale redeliveries and the
+        durability ledger can match acknowledgments to writes.
+        """
         offsets = [i * units.CACHE_LINE
                    for i in range(units.LINES_PER_PAGE)
                    if dirty_mask & (1 << i)]
-        records, _ = pack_dirty_lines(
-            [location.remote_addr + off for off in offsets])
+        if self.content is None:
+            records, _ = pack_dirty_lines(
+                [location.remote_addr + off for off in offsets])
+            return records
+        epoch = (self.replication.epoch_of(vfmem_page_addr)
+                 if self.replication is not None else 0)
+        records = []
+        for off in offsets:
+            vfmem_addr = vfmem_page_addr + off
+            version, payload = self.content.content(vfmem_addr)
+            records.append(LogRecord(
+                remote_addr=location.remote_addr + off,
+                vfmem_addr=vfmem_addr, version=version,
+                epoch=epoch, payload=payload))
         return records
 
     def _park_records(self, node: str, records: List[LogRecord]) -> float:
@@ -416,6 +482,33 @@ class EvictionHandler:
         self.counters.add("backpressure_stalls")
         self._emit("evict.backpressure_stall", stall, overflow=overflow)
         return stall
+
+    @traced("evict.redirect_parked", cat="recovery")
+    def redirect_parked(self, dead_node: str) -> float:
+        """Reroute writebacks parked for a node that just failed over.
+
+        Once the replication manager promoted backups, records parked
+        for the dead primary have a live home again: re-stamp them to
+        the promoted primaries (epoch fence included) and flush there
+        instead of waiting out the dead node's restart.  Records whose
+        window has no live replica (orphaned slots) stay parked.
+        """
+        if self.replication is None:
+            return 0.0
+        records = self.writeback_buffer.drain(dead_node)
+        if not records:
+            return 0.0
+        keep, moved = self.replication.redirect_records(dead_node, records)
+        total = 0.0
+        if keep:
+            # No promoted home for these; they wait for the node itself.
+            self.writeback_buffer.park(dead_node, keep)
+        for target, batch in moved.items():
+            self.counters.add("lines_redelivered", len(batch))
+            self.counters.add("lines_redirected", len(batch))
+            self._pending.setdefault(target, []).extend(batch)
+            total += self.flush_node(target)
+        return total
 
     @traced("evict.drain_recovered", cat="recovery")
     def drain_recovered(self) -> float:

@@ -68,6 +68,10 @@ class FailureManager:
         #: Pages degraded to fault-on-access, with the pfn each one had
         #: at degradation time so recovery can restore the real frame.
         self.degraded_pages: List[Tuple[int, int]] = []
+        #: Replication manager (set by the runtime when replication is
+        #: on): fetches verify stored checksums and read-repair from a
+        #: backup on mismatch.
+        self.replication = None
 
     # -- fetch path ----------------------------------------------------------------
 
@@ -92,6 +96,23 @@ class FailureManager:
             retries += 1
             self.counters.add("dead_primaries" if i == 0 else "dead_replicas")
         return self._all_replicas_down(vfmem_addr, retries)
+
+    def verify_fetch(self, vfmem_page_addr: int,
+                     outcome: FetchOutcome) -> float:
+        """Checksum-verify a fetched page's stored lines; returns ns.
+
+        Corrupt lines are read-repaired from an intact replica before
+        the fill proceeds, so a ``data_corruption`` chaos fault never
+        propagates bad bytes into FMem.  No-op without replication.
+        """
+        if self.replication is None:
+            return 0.0
+        mismatches, repairs, ns = self.replication.verify_page(
+            vfmem_page_addr, outcome.location.node)
+        if mismatches:
+            self.counters.add("fetch_checksum_mismatches", mismatches)
+            self.counters.add("fetch_read_repairs", repairs)
+        return ns
 
     def _all_replicas_down(self, vfmem_addr: int, retries: int) -> FetchOutcome:
         if self.mode is FallbackMode.MCE_HANDLER:

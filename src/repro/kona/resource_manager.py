@@ -37,6 +37,9 @@ class ResourceManager:
         self._windows: List[int] = [] # VFMem start addresses of bound windows
         self._slabs: List[Slab] = []
         self._replica_slabs: List[Slab] = []
+        #: Replication manager (set by the runtime): learns each bound
+        #: window's replica set so it can lease, promote and re-replicate.
+        self.replication = None
         self.counters = Counter()
 
     @property
@@ -76,6 +79,8 @@ class ResourceManager:
             vf_addr = self.vfmem.start + self._next_window * self.config.slab_bytes
             self.translation.bind(vf_addr, primary,
                                   replicas=replica_slabs or None)
+            if self.replication is not None:
+                self.replication.register(vf_addr, primary, replica_slabs)
             self._windows.append(vf_addr)
             self._next_window += 1
             self._map_window(vf_addr)

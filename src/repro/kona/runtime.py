@@ -27,6 +27,7 @@ from ..common.retry import Retrier, RetryPolicy
 from ..common.stats import Counter
 from ..cluster.controller import RackController
 from ..cluster.memnode import MemoryNode
+from ..cluster.replication import DataPlane, ReplicationManager
 from ..coherence.agent import CoherentCache
 from ..coherence.states import Protocol
 from ..fpga.agent import AgentConfig, MemoryAgent
@@ -148,7 +149,8 @@ class KonaRuntime:
                                     tracer=self.obs.tracer)
         self.retrier = Retrier(
             RetryPolicy(max_attempts=cfg.retry_max_attempts,
-                        base_backoff_ns=cfg.retry_base_backoff_ns),
+                        base_backoff_ns=cfg.retry_base_backoff_ns,
+                        max_total_backoff_ns=cfg.retry_deadline_ns),
             seed=cfg.retry_seed, clock=self.fabric.clock)
         self.eviction = EvictionHandler(cfg, self.translation,
                                         self.controller, latency,
@@ -158,6 +160,21 @@ class KonaRuntime:
                                         tracer=self.obs.tracer)
         self.agent.on_page_eviction(self._eviction_sink)
         self.poller = Poller()
+
+        # -- replication & durability ---------------------------------------------
+        #: Optional content shadow (attach_data_plane) for durability
+        #: proofs; None keeps the batched trace engine eligible.
+        self.content: Optional[DataPlane] = None
+        self.replication: Optional[ReplicationManager] = None
+        if cfg.replication_factor > 1:
+            self.replication = ReplicationManager(
+                self.controller, self.translation, self.fabric.clock,
+                vfmem_base=self.vfmem.start, slab_bytes=cfg.slab_bytes,
+                replication_factor=cfg.replication_factor,
+                lease_ttl_ns=cfg.lease_ttl_ns, tracer=self.obs.tracer)
+            self.resource_manager.replication = self.replication
+            self.eviction.replication = self.replication
+            self.failures.replication = self.replication
 
         # -- accounting ------------------------------------------------------------
         self.account = Account()
@@ -236,6 +253,44 @@ class KonaRuntime:
                 lambda: self.eviction.counters["backpressure_stalls"],
             "health.eviction_failovers":
                 lambda: self.eviction.counters["eviction_failovers"],
+            "replication.factor": lambda: (
+                self.replication.replication_factor
+                if self.replication is not None
+                else self.config.replication_factor),
+            "replication.backlog_slots": lambda: (
+                self.replication.backlog_slots
+                if self.replication is not None else 0),
+            "replication.lag_records": lambda: (
+                self.replication.lag_records
+                if self.replication is not None else 0),
+            "replication.failovers": lambda: (
+                self.replication.counters["failovers"]
+                if self.replication is not None else 0),
+            "replication.promotions": lambda: (
+                self.replication.counters["promotions"]
+                if self.replication is not None else 0),
+            "replication.max_epoch": lambda: (
+                self.replication.max_epoch
+                if self.replication is not None else 0),
+            "replication.stale_epoch_fenced": lambda: (
+                self.replication.counters["stale_epoch_writes_fenced"]
+                if self.replication is not None else 0),
+            "replication.lines_replicated": lambda: (
+                self.replication.counters["lines_replicated"]
+                if self.replication is not None else 0),
+            "replication.lines_rereplicated": lambda: (
+                self.replication.counters["lines_rereplicated"]
+                if self.replication is not None else 0),
+            "replication.checksum_mismatches": lambda: (
+                self.replication.counters["checksum_mismatches"]
+                if self.replication is not None else 0),
+            "replication.read_repairs": lambda: (
+                self.replication.counters["read_repairs"]
+                if self.replication is not None else 0),
+            "replication.failover_mttr_ns":
+                lambda: round(self.health.mttr_ns, 1),
+            "replication.writebacks_redirected":
+                lambda: self.eviction.counters["lines_redirected"],
             "network.transfers": lambda: self.fabric.counters["transfers"],
             "network.bytes_moved": lambda: self.fabric.bytes_moved,
             "network.failed_transfers":
@@ -287,6 +342,15 @@ class KonaRuntime:
             self.health.degrade("fetch failed over to replica")
         if outcome.extra_latency_ns:
             self.account.charge("failover_wait", outcome.extra_latency_ns)
+        if self.content is not None:
+            # Checksum-verify the page as the fill streams in; repairs
+            # overlap with the DMA, so the cost stays off the critical
+            # path but is still accounted.
+            page = align_down(vfmem_addr, self.config.page_size)
+            verify_ns = self.failures.verify_fetch(page, outcome)
+            if verify_ns:
+                self.account.charge("integrity_verify", verify_ns)
+                self.background_ns += verify_ns
         return outcome.location
 
     def _eviction_sink(self, vfmem_page_addr: int, dirty_mask: int) -> None:
@@ -296,6 +360,22 @@ class KonaRuntime:
         self.background_ns += elapsed
         if self.obs.enabled:
             self._evict_hist.observe(elapsed)
+
+    def attach_data_plane(self) -> DataPlane:
+        """Attach the content shadow used for durability proofs.
+
+        Once attached, every completed write advances its line's
+        version, eviction records carry versioned payloads into the
+        memnode stores, and fetches checksum-verify stored lines.
+        Trace runs fall back to the scalar engine, whose per-access
+        path observes every write.
+        """
+        if self.content is None:
+            self.content = DataPlane()
+            self.eviction.content = self.content
+            if self.replication is not None:
+                self.replication.content_active = True
+        return self.content
 
     # -- allocation API ---------------------------------------------------------------
 
@@ -324,6 +404,10 @@ class KonaRuntime:
         if addr not in self.vfmem:
             raise AddressError(f"{addr:#x} is not Kona-managed memory")
         hit = self.cpu_cache.access(addr, is_write)
+        if is_write and self.content is not None:
+            # The access completed (no fault raised): the write is now
+            # application-visible, so its version is durable-pending.
+            self.content.record_write(addr)
         if hit:
             self.counters.add("cache_hits")
             return 0.0
@@ -385,6 +469,10 @@ class KonaRuntime:
         """
         if addrs.shape != writes.shape:
             raise ConfigError("addrs and writes must have identical shape")
+        if engine == "batched" and self.content is not None:
+            # The data plane versions writes per access; the batched
+            # front-end bulk-resolves hits and would skip them.
+            engine = "scalar"
         if engine == "batched":
             stall = run_trace_batched(self, addrs, writes)
         elif engine == "scalar":
@@ -446,6 +534,13 @@ class KonaRuntime:
         utilization and evicts pages to make room" (section 4.1).
         Returns pages reclaimed.
         """
+        if self.replication is not None and self.replication.backlog_slots:
+            # Background maintenance: rebuild the replication factor a
+            # few slots per tick, then let health observe progress.
+            ns = self.replication.re_replicate(
+                self.config.rereplication_slots_per_tick)
+            self.background_ns += ns
+            self._check_replication_recovered()
         if self.fmem.occupancy_fraction <= self.config.evict_high_watermark:
             return 0
         target = int(self.config.evict_low_watermark * self.fmem.num_frames)
@@ -455,18 +550,69 @@ class KonaRuntime:
         self.counters.add("watermark_reclaims")
         return self.agent.proactive_evict(count)
 
+    def _check_replication_recovered(self) -> None:
+        """Close the health loop once redundancy is fully rebuilt."""
+        if (self.health.state is HealthState.RECOVERING
+                and self.eviction.parked_records == 0
+                and len(self.failures.degraded_pages) == 0
+                and (self.replication is None
+                     or self.replication.backlog_slots == 0)):
+            self.health.recovered()
+
+    @traced("runtime.failover", cat="recovery")
+    def on_memnode_failure(self, node_name: str) -> float:
+        """Controller-driven failover after a memory-node crash.
+
+        Promotes backups for every window the dead node primaried
+        (waiting out its lease — the modeled unavailability window),
+        redirects the writebacks parked for it to the promoted
+        primaries, and moves health DEGRADED -> RECOVERING while the
+        background re-replication task rebuilds redundancy.  Returns
+        simulated ns consumed by the failover.
+        """
+        if self.replication is None:
+            return 0.0
+        report = self.replication.on_node_failure(node_name)
+        if not report.affected:
+            return 0.0
+        self.health.degrade(f"memnode {node_name} failed")
+        if report.lease_wait_ns > 0:
+            # New primaries must not serve before the dead node's lease
+            # expires; the fencing wait is real unavailability.
+            self.fabric.clock.advance(report.lease_wait_ns)
+            self.account.charge("failover_lease_wait", report.lease_wait_ns)
+        # In-flight batches staged for the dead node reroute through the
+        # epoch fence; parked ones drain to the promoted primaries.
+        redirected_ns = self.eviction.flush_node(node_name)
+        redirected_ns += self.eviction.redirect_parked(node_name)
+        self.background_ns += redirected_ns
+        self.counters.add("memnode_failovers")
+        if report.promoted_slots:
+            self.health.start_recovery()
+            self._check_replication_recovered()
+        return report.lease_wait_ns + redirected_ns
+
     @traced("runtime.recover", cat="recovery")
     def recover(self) -> float:
         """Recovery path after an outage clears (paper section 4.5).
 
         Drains parked writebacks to every node that came back, re-arms
-        pages degraded to fault-on-access, and walks the health state
-        machine RECOVERING -> HEALTHY once nothing is left parked.
-        Returns background ns consumed by the drain.
+        pages degraded to fault-on-access, rebuilds any remaining
+        replication deficit and scrubs stored checksums, then walks the
+        health state machine RECOVERING -> HEALTHY once nothing is left
+        parked or under-replicated.  Returns background ns consumed.
         """
+        repl_ns = 0.0
+        if self.replication is not None:
+            repl_ns = self.replication.re_replicate_all()
+            _, repaired, scrub_ns = self.replication.scrub()
+            repl_ns += scrub_ns
+            if repaired:
+                self.counters.add("scrub_repairs", repaired)
+            self.background_ns += repl_ns
         if (self.health.state is HealthState.HEALTHY
                 and self.eviction.parked_records == 0):
-            return 0.0
+            return repl_ns
         if self.health.state is HealthState.DEGRADED:
             self.health.start_recovery()
         drained_ns = self.eviction.drain_recovered()
@@ -475,9 +621,11 @@ class KonaRuntime:
         if pages:
             self.counters.add("pages_rearmed", pages)
         if (self.health.state is HealthState.RECOVERING
-                and self.eviction.parked_records == 0):
+                and self.eviction.parked_records == 0
+                and (self.replication is None
+                     or self.replication.backlog_slots == 0)):
             self.health.recovered()
-        return drained_ns
+        return drained_ns + repl_ns
 
     @traced("runtime.flush", cat="runtime")
     def flush(self) -> float:
@@ -499,6 +647,8 @@ class KonaRuntime:
     def close(self) -> None:
         """Flush and release every slab back to the rack."""
         self.flush()
+        if self.replication is not None:
+            self.replication.release_all_slabs()
         self.resource_manager.release_all()
 
     def __enter__(self) -> "KonaRuntime":

@@ -262,6 +262,28 @@ class Fabric:
                                              signaled=signaled)
         return base + self._extra_delay_ns.get((src, dst), 0.0)
 
+    def replicated_log_write_cost_ns(self, src: str, dsts: List[str],
+                                     log_bytes: int) -> float:
+        """Price a pipelined CL-log write fanned out to ``dsts``.
+
+        One posting exposes the linked work request plus the NIC
+        doorbell; the wire time is partially hidden behind staging the
+        next batch (``log_wire_exposure``).  Each destination past the
+        first is posted back-to-back — its wire time overlaps, so it
+        adds only a posting cost.  The slowest injected link delay
+        gates the ack.  With a single destination and no injected
+        delay this is exactly the unreplicated flush cost.
+        """
+        if not dsts:
+            return 0.0
+        posting = self.latency.rdma_linked_wr_ns + self.latency.rdma_nic_wr_ns
+        cost = (posting + self.latency.log_wire_exposure
+                * self.latency.rdma_per_byte_ns * log_bytes)
+        cost += (len(dsts) - 1) * posting
+        cost += max(self._extra_delay_ns.get((src, dst), 0.0)
+                    for dst in dsts)
+        return cost
+
     def transfer(self, src: str, dst: str, nbytes: int, *,
                  linked: bool = False, signaled: bool = True) -> TransferReceipt:
         """Move ``nbytes`` from ``src`` to ``dst``, advancing the clock.

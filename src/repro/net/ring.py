@@ -28,9 +28,20 @@ RECORD_BYTES = 8 + units.CACHE_LINE
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One dirty cache line in flight."""
+    """One dirty cache line in flight.
+
+    The replication layer stamps the optional fields: ``vfmem_addr``
+    keys the line in the per-node content stores (−1 = legacy record,
+    content plane off), ``version`` orders redeliveries
+    (last-writer-wins), ``epoch`` fences writes issued under a deposed
+    primary, and ``payload`` is the modeled 64-bit line content.
+    """
 
     remote_addr: int
+    vfmem_addr: int = -1
+    version: int = 0
+    epoch: int = 0
+    payload: int = 0
 
 
 class RingBufferLog:

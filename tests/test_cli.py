@@ -20,6 +20,17 @@ class TestParser:
         args = build_parser().parse_args(["fig7", "--region-mb", "8"])
         assert args.region_mb == 8
 
+    def test_chaos_campaign_default_and_choices(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.campaign == "node-failure"
+        args = build_parser().parse_args(
+            ["chaos", "--campaign", "memnode-failover",
+             "--trace-out", "fo.json"])
+        assert args.campaign == "memnode-failover"
+        assert args.trace_out == "fo.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--campaign", "bogus"])
+
 
 class TestExecution:
     def test_list(self, capsys):
@@ -144,6 +155,60 @@ class TestExecution:
         assert "burn" in out
         assert "SLO compliance" in out
         assert "DEGRADED transition explained by" in out
+
+    def test_chaos_exits_nonzero_on_invariant_violation(self, capsys,
+                                                        monkeypatch):
+        from repro.chaos import CampaignResult, InvariantCheck
+        from repro.kona.telemetry import TelemetrySnapshot
+
+        result = CampaignResult(
+            seed=0, accesses=1, faulted_accesses=0, timeline=[],
+            window_amat_ns=[], pre_fault_amat_ns=1.0,
+            post_recovery_amat_ns=1.0)
+        result.invariants = [InvariantCheck(
+            name="writeback_conservation", passed=False, detail="boom")]
+        result.telemetry = TelemetrySnapshot(data={"health": {}})
+        monkeypatch.setattr("repro.cli.run_chaos", lambda **kw: result)
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos"])
+        assert exc.value.code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    @staticmethod
+    def _fake_failover(passed: bool):
+        from repro.chaos import CampaignResult, InvariantCheck
+        from repro.experiments.failover import FailoverResult
+        from repro.kona.telemetry import TelemetrySnapshot
+
+        result = CampaignResult(
+            seed=0, accesses=1, faulted_accesses=0, timeline=[],
+            window_amat_ns=[], pre_fault_amat_ns=1.0,
+            post_recovery_amat_ns=1.0)
+        result.invariants = [InvariantCheck(
+            name="durability_image_match", passed=passed, detail="image")]
+        result.telemetry = TelemetrySnapshot(data={})
+        return FailoverResult(
+            result=result, image_lines=1, oracle_lines=1,
+            image_matches=passed, image_digest="cafe", mttr_ns=0.0,
+            failovers=1, promotions=1, scrub_repairs=0)
+
+    def test_failover_campaign_exits_nonzero_on_violation(
+            self, capsys, monkeypatch):
+        fake = self._fake_failover(passed=False)
+        monkeypatch.setattr("repro.cli.run_failover", lambda **kw: fake)
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--campaign", "memnode-failover"])
+        assert exc.value.code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_failover_campaign_exits_zero_when_proof_holds(
+            self, capsys, monkeypatch):
+        fake = self._fake_failover(passed=True)
+        monkeypatch.setattr("repro.cli.run_failover", lambda **kw: fake)
+        assert main(["chaos", "--campaign", "memnode-failover"]) == 0
+        out = capsys.readouterr().out
+        assert "Durability proof" in out
+        assert "bit-identical" in out
 
     def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
         import json

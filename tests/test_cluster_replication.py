@@ -1,0 +1,289 @@
+"""Tests for primary/backup replication: epochs, leases, failover."""
+
+import pytest
+
+import repro.common.units as u
+from repro.cluster import (
+    DataPlane,
+    LineStore,
+    ReplicaSet,
+    StoredLine,
+    line_checksum,
+    line_payload,
+)
+from repro.kona import KonaConfig, KonaRuntime
+from repro.net.ring import LogRecord
+
+
+def _record(vfmem_addr, version, epoch=0, remote_addr=0):
+    return LogRecord(remote_addr=remote_addr, vfmem_addr=vfmem_addr,
+                     version=version, epoch=epoch,
+                     payload=line_payload(vfmem_addr, version))
+
+
+class TestContentModel:
+    def test_payload_is_deterministic(self):
+        assert line_payload(0x1000, 3) == line_payload(0x1000, 3)
+
+    def test_payload_varies_with_line_and_version(self):
+        assert line_payload(0x1000, 1) != line_payload(0x1040, 1)
+        assert line_payload(0x1000, 1) != line_payload(0x1000, 2)
+
+    def test_checksum_detects_any_flipped_bit(self):
+        payload = line_payload(0x2000, 5)
+        checksum = line_checksum(payload)
+        for bit in (0, 17, 63):
+            assert line_checksum(payload ^ (1 << bit)) != checksum
+
+
+class TestLineStore:
+    def test_apply_stores_line_with_checksum(self):
+        store = LineStore()
+        assert store.apply(_record(0x40, 1))
+        stored = store.get(0x40)
+        assert stored.version == 1 and stored.intact
+
+    def test_stale_version_is_fenced(self):
+        store = LineStore()
+        store.apply(_record(0x40, 3))
+        assert not store.apply(_record(0x40, 2))
+        assert store.get(0x40).version == 3
+        assert store.counters["stale_version_drops"] == 1
+
+    def test_redelivery_of_same_version_is_idempotent(self):
+        store = LineStore()
+        store.apply(_record(0x40, 2))
+        assert store.apply(_record(0x40, 2))
+        assert store.image() == {0x40: (2, line_payload(0x40, 2))}
+
+    def test_version_zero_records_are_dropped(self):
+        # Full-page writes ship never-written lines; storing them would
+        # make the image depend on the eviction strategy.
+        store = LineStore()
+        assert not store.apply(_record(0x40, 0))
+        assert len(store) == 0
+
+    def test_corrupt_flips_payload_but_not_checksum(self):
+        store = LineStore()
+        store.apply(_record(0x40, 1))
+        assert store.corrupt(0x40)
+        assert not store.get(0x40).intact
+
+    def test_lines_in_page_uses_page_index(self):
+        store = LineStore()
+        store.apply(_record(0x40, 1))
+        store.apply(_record(0x80, 1))
+        store.apply(_record(u.PAGE_4K + 0x40, 1))
+        assert store.lines_in_page(0) == [0x40, 0x80]
+        assert store.lines_in_page(u.PAGE_4K) == [u.PAGE_4K + 0x40]
+
+    def test_clear_drops_everything(self):
+        store = LineStore()
+        store.apply(_record(0x40, 1))
+        store.clear()
+        assert len(store) == 0 and store.lines_in_page(0) == []
+
+
+class TestDataPlane:
+    def test_versions_count_writes_per_line(self):
+        plane = DataPlane()
+        plane.record_write(0x100)
+        plane.record_write(0x104)      # same cache line
+        plane.record_write(0x140)      # next line
+        assert plane.content(0x100)[0] == 2
+        assert plane.content(0x140)[0] == 1
+
+    def test_unwritten_line_is_version_zero(self):
+        plane = DataPlane()
+        assert plane.content(0x2000) == (0, line_payload(0x2000, 0))
+
+    def test_acknowledge_keeps_highest_version(self):
+        plane = DataPlane()
+        plane.acknowledge([_record(0x40, 2)])
+        plane.acknowledge([_record(0x40, 1), _record(0x80, 4)])
+        assert plane.acknowledged == {0x40: 2, 0x80: 4}
+
+
+class TestReplicaSet:
+    _ids = iter(range(100, 200))
+
+    def _slab(self, node):
+        from repro.cluster.slab import Slab
+        from repro.mem.address import AddressRange
+        return Slab(slab_id=next(self._ids), node=node,
+                    remote_range=AddressRange(0, 8 * u.MB))
+
+    def test_promote_bumps_epoch_and_keeps_history(self):
+        rset = ReplicaSet(slot=0, primary=self._slab("mem0"),
+                          backups=[self._slab("mem1"), self._slab("mem2")])
+        rset.promote(0)
+        assert rset.primary.node == "mem1"
+        assert rset.epoch == 1
+        assert rset.epoch_history == [0, 1]
+        assert rset.nodes() == ["mem1", "mem2"]
+
+
+@pytest.fixture
+def replicated_runtime():
+    config = KonaConfig(fmem_capacity=4 * u.MB,
+                        vfmem_capacity=48 * u.MB,
+                        slab_bytes=8 * u.MB,
+                        replication_factor=2,
+                        lease_ttl_ns=30_000.0)
+    rt = KonaRuntime(config, num_memory_nodes=3, app_ns_per_access=50.0)
+    rt.attach_data_plane()
+    region = rt.mmap(8 * u.MB)
+    rt.write(region.start)             # grows + registers the slot
+    yield rt, region
+    rt.close()
+
+
+class TestReplicationManager:
+    def test_growth_registers_replica_set_at_factor(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        rset = manager.sets[slot]
+        assert len(rset.nodes()) == 2
+        assert len(set(rset.nodes())) == 2
+        assert manager.leases[slot].node == rset.primary.node
+
+    def test_writes_renew_the_lease(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        before = manager.counters["leases_renewed"]
+        manager.route_for(region.start)
+        assert manager.counters["leases_renewed"] == before + 1
+        assert manager.leases[slot].expires_at_ns == \
+            rt.fabric.clock.now + manager.lease_ttl_ns
+
+    def test_redirect_fences_and_restamps_stale_records(
+            self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        rset = manager.sets[slot]
+        old_primary = rset.primary.node
+        rt.controller.node(old_primary).fail()
+        rt.on_memnode_failure(old_primary)
+        new_primary = rset.primary.node
+        assert new_primary != old_primary
+
+        stale = _record(region.start, version=1, epoch=0)
+        keep, moved = manager.redirect_records(old_primary, [stale])
+        assert keep == []
+        assert list(moved) == [new_primary]
+        restamped = moved[new_primary][0]
+        assert restamped.epoch == rset.epoch == 1
+        offset = region.start - manager.vfmem_base - slot * manager.slab_bytes
+        assert restamped.remote_addr == \
+            rset.primary.remote_range.start + offset
+        assert manager.counters["stale_epoch_writes_fenced"] == 1
+
+    def test_legacy_records_pass_through_untouched(self, replicated_runtime):
+        rt, _ = replicated_runtime
+        legacy = LogRecord(remote_addr=0x123)
+        keep, moved = rt.replication.redirect_records("mem0", [legacy])
+        assert keep == [legacy] and moved == {}
+
+    def test_failover_waits_out_the_primary_lease(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        victim = manager.sets[slot].primary.node
+        manager.renew_lease(slot)
+        rt.controller.node(victim).fail()
+        report = manager.on_node_failure(victim)
+        assert slot in report.promoted_slots
+        assert report.lease_wait_ns == pytest.approx(manager.lease_ttl_ns)
+
+    def test_expired_lease_means_no_fencing_wait(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        victim = manager.sets[slot].primary.node
+        rt.fabric.clock.advance(manager.lease_ttl_ns + 1.0)
+        rt.controller.node(victim).fail()
+        report = manager.on_node_failure(victim)
+        assert report.lease_wait_ns == 0.0
+
+    def test_promotion_rebinds_the_translation_map(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        victim = manager.sets[slot].primary.node
+        rt.controller.node(victim).fail()
+        rt.on_memnode_failure(victim)
+        location = rt.translation.resolve(region.start)
+        assert location.node == manager.sets[slot].primary.node
+
+    def test_re_replication_restores_the_factor(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        victim = manager.sets[slot].primary.node
+        rt.controller.node(victim).fail()
+        rt.on_memnode_failure(victim)
+        assert not manager.fully_replicated()
+        manager.re_replicate_all()
+        assert manager.fully_replicated()
+        assert manager.backlog_slots == 0
+        assert victim not in manager.sets[slot].nodes()
+
+    def test_re_replication_copies_primary_content(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        rset = manager.sets[slot]
+        primary = rt.controller.node(rset.primary.node)
+        primary.store.apply(_record(region.start, 7))
+        victim = rset.backups[0].node
+        rt.controller.node(victim).fail()
+        rt.on_memnode_failure(victim)
+        manager.re_replicate_all()
+        new_backup = rt.controller.node(rset.backups[-1].node)
+        assert new_backup.store.get(region.start).version == 7
+
+    def test_read_repair_restores_corrupted_payload(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        rset = manager.sets[manager.slot_of(region.start)]
+        for name in rset.nodes():
+            rt.controller.node(name).store.apply(_record(region.start, 4))
+        primary = rt.controller.node(rset.primary.node)
+        primary.store.corrupt(region.start)
+        mismatches, repairs, ns = manager.verify_page(
+            region.start, rset.primary.node)
+        assert (mismatches, repairs) == (1, 1)
+        assert ns > 0.0
+        assert primary.store.get(region.start).intact
+        assert manager.counters["unrepaired_corruption"] == 0
+
+    def test_scrub_sweeps_every_replica(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        rset = manager.sets[manager.slot_of(region.start)]
+        for name in rset.nodes():
+            rt.controller.node(name).store.apply(_record(region.start, 2))
+        backup = rt.controller.node(rset.backups[0].node)
+        backup.store.corrupt(region.start)
+        checked, repaired, _ = manager.scrub()
+        assert checked >= 2 and repaired == 1
+        assert backup.store.get(region.start).intact
+
+    def test_epochs_stay_monotonic_across_failovers(self, replicated_runtime):
+        rt, region = replicated_runtime
+        manager = rt.replication
+        slot = manager.slot_of(region.start)
+        victim = manager.sets[slot].primary.node
+        rt.controller.node(victim).fail()
+        rt.on_memnode_failure(victim)
+        manager.re_replicate_all()
+        rt.controller.node(victim).recover()
+        second = manager.sets[slot].primary.node
+        rt.controller.node(second).fail()
+        rt.on_memnode_failure(second)
+        assert manager.sets[slot].epoch == 2
+        assert manager.epochs_monotonic()
+        assert manager.max_epoch == 2

@@ -105,6 +105,63 @@ class TestRetrier:
         assert retrier.counters["retries"] == 0
 
 
+class TestDeadlineBudget:
+    """The total-deadline budget bounds cumulative backoff per call."""
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_total_backoff_ns=-1.0)
+
+    def test_zero_budget_means_unbounded(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=4, base_backoff_ns=1000,
+                             multiplier=2.0, jitter=0.0,
+                             max_total_backoff_ns=0.0)
+        retrier = Retrier(policy, seed=1, clock=clock)
+        retrier.call(_flaky_fn(3))
+        assert clock.now == 1000 + 2000 + 4000
+        assert retrier.counters["deadline_clamps"] == 0
+
+    def test_final_wait_clamped_to_remaining_budget(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=5, base_backoff_ns=1000,
+                             multiplier=2.0, jitter=0.0,
+                             max_total_backoff_ns=2500)
+        retrier = Retrier(policy, seed=1, clock=clock)
+        assert retrier.call(_flaky_fn(2)) == "ok"
+        # Waits 1000, then 2000 clamped to the remaining 1500.
+        assert clock.now == 2500
+        assert retrier.counters["deadline_clamps"] == 1
+        assert retrier.last_outcome.backoff_ns == 2500
+
+    def test_spent_budget_stops_retrying_early(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=6, base_backoff_ns=1000,
+                             multiplier=2.0, jitter=0.0,
+                             max_total_backoff_ns=1500)
+        retrier = Retrier(policy, seed=1, clock=clock)
+        with pytest.raises(RetryExhausted):
+            retrier.call(_flaky_fn(99))
+        # 1000, then 500 (clamp), then the budget is gone: give up
+        # after 3 of the 6 scheduled attempts.
+        assert retrier.counters["deadline_exceeded"] == 1
+        assert retrier.last_outcome.attempts == 3
+        assert retrier.last_outcome.backoff_ns == 1500
+        assert clock.now == 1500
+
+    def test_deadline_never_exceeded_with_jitter(self):
+        budget = 10_000.0
+        policy = RetryPolicy(max_attempts=8, base_backoff_ns=3000,
+                             multiplier=2.0, jitter=0.2,
+                             max_total_backoff_ns=budget)
+        for seed in range(10):
+            clock = SimClock()
+            retrier = Retrier(policy, seed=seed, clock=clock)
+            with pytest.raises(RetryExhausted):
+                retrier.call(_flaky_fn(99))
+            assert clock.now <= budget + 1e-9
+
+
 class TestDeterminism:
     """Acceptance: same seed -> identical backoff and clock charge."""
 

@@ -13,7 +13,7 @@ class TestTelemetry:
         snap = snapshot(runtime)
         assert set(snap.data) == {"memory", "fetch", "tracking",
                                   "eviction", "faults", "health", "network",
-                                  "coherence"}
+                                  "coherence", "replication"}
 
     def test_health_section_starts_clean(self, runtime):
         health = snapshot(runtime).data["health"]

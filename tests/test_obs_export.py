@@ -126,3 +126,70 @@ class TestJsonlAndSampler:
         assert "memory_fmem_bytes" in text
         assert "fetch_remote_fetches" in text
         assert "kona_access_stall_ns_count" in text
+        # Replication gauges render even on an unreplicated runtime
+        # (None-guarded to zero), so dashboards keep a stable schema.
+        assert "replication_backlog_slots 0" in text
+        assert "replication_failovers 0" in text
+
+
+@pytest.fixture()
+def replicated_traced_runtime():
+    """A traced, replicated runtime that lives through a failover."""
+    recorder = FlightRecorder(tracing=True, sample_interval_ns=10_000.0)
+    config = KonaConfig(fmem_capacity=4 * u.MB,
+                        vfmem_capacity=48 * u.MB,
+                        slab_bytes=8 * u.MB,
+                        replication_factor=2)
+    runtime = KonaRuntime(config, num_memory_nodes=3, recorder=recorder)
+    runtime.attach_data_plane()
+    region = runtime.mmap(8 * u.MB)
+    for page in range(2048):
+        runtime.write(region.start + page * u.PAGE_4K)
+        runtime.fabric.clock.advance(50.0)
+        if page % 64 == 0:
+            runtime.maybe_evict()
+            runtime.obs.tick()
+    slot = runtime.replication.slot_of(region.start)
+    victim = runtime.replication.sets[slot].primary.node
+    runtime.controller.node(victim).fail()
+    runtime.on_memnode_failure(victim)
+    runtime.recover()
+    runtime.obs.tick()
+    return runtime
+
+
+class TestReplicationExportMatrix:
+    """Replication telemetry flows through every exporter."""
+
+    def test_chrome_trace_valid_and_has_failover_events(
+            self, replicated_traced_runtime):
+        payload = replicated_traced_runtime.obs.chrome_trace()
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "replication.promote" in names
+        assert "replication.rebuild" in names
+        assert "runtime.failover" in names
+
+    def test_prometheus_dump_has_live_replication_gauges(
+            self, replicated_traced_runtime):
+        text = replicated_traced_runtime.obs.prometheus_text()
+        assert "replication_factor 2" in text
+        assert "replication_failovers 1" in text
+        assert "replication_backlog_slots 0" in text
+        assert "replication_lines_replicated" in text
+
+    def test_sampler_series_include_replication(
+            self, replicated_traced_runtime):
+        samples = replicated_traced_runtime.obs.sampler.samples
+        assert samples
+        _, last = samples[-1]
+        assert "replication.factor" in last
+        assert "replication.promotions" in last
+
+    def test_jsonl_lines_parse_with_replication_metrics(
+            self, replicated_traced_runtime):
+        lines = jsonl_lines(replicated_traced_runtime.obs)
+        metric_names = {json.loads(line)["name"] for line in lines
+                        if json.loads(line)["type"] == "metric"}
+        assert any(name.startswith("replication.")
+                   for name in metric_names)
