@@ -16,6 +16,13 @@ Usage::
                           [--min-speedup 1.0] [--output FILE]
                           [--history FILE|none]
     python -m repro trace [--out trace.json] [--prom FILE] [--jsonl FILE]
+    python -m repro trace-gen --out DIR [--accesses N] [--chunk N]
+                              [--hot-lines N] [--cold-fraction F]
+                              [--region-mb MB] [--write-fraction F]
+    python -m repro trace-convert --input SRC --out DST
+                                  [--to columnar|npz]
+    python -m repro trace-replay --input DIR [--chunk N] [--shards N]
+                                 [--processes N] [--rss-ceiling-mb MB]
     python -m repro profile [--top 10] [--window-us 100]
     python -m repro perfdiff [--run-a A.json --run-b B.json]
                              [--against BENCH_runtime.json --tolerance 0.5]
@@ -289,6 +296,14 @@ def cmd_bench(args: argparse.Namespace) -> None:
               f"{fast_label} {case[fast_label]['seconds']:.3f}s  "
               f"speedup {case['speedup']:.1f}x  "
               f"counters {'ok' if case['counters_match'] else 'MISMATCH'}")
+    streaming = payload.get("streaming")
+    if streaming:
+        print(f"{streaming['workload']:>18s}  "
+              f"{streaming['num_accesses']:>9,} accesses  "
+              f"streamed {streaming['streamed_seconds']:.3f}s  "
+              f"monolithic {streaming['monolithic_seconds']:.3f}s  "
+              f"chunk {streaming['chunk']:,}  fingerprint "
+              f"{'ok' if streaming['fingerprint_matches_monolithic'] else 'MISMATCH'}")
     output = args.output
     if output is None:
         output = (RUNTIME_BENCH_FILENAME if args.suite == "runtime"
@@ -305,6 +320,123 @@ def cmd_bench(args: argparse.Namespace) -> None:
                 print(f"FAIL: {msg}")
             raise SystemExit(1)
         print(f"speedup gate passed (>= {args.min_speedup}x)")
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> None:
+    """Convert traces between .npz and columnar (memory-mapped) form."""
+    from .workloads.trace import (load_trace, open_columnar, save_columnar,
+                                  save_trace)
+    src, dst = args.input, args.out
+    if src is None or dst is None:
+        raise SystemExit("trace-convert needs --input SRC and --out DST")
+    if args.to == "columnar":
+        trace = load_trace(src)
+        save_columnar(trace, dst)
+        columnar = open_columnar(dst)
+        print(f"columnar trace: {dst} ({columnar.length:,} accesses, "
+              f"{columnar.memory_bytes:,} region bytes, "
+              f"columns {', '.join(read_meta_columns(dst))})")
+    else:
+        columnar = open_columnar(src)
+        save_trace(columnar.materialize(), dst)
+        print(f"npz trace: {dst} ({columnar.length:,} accesses)")
+
+
+def read_meta_columns(path: str) -> List[str]:
+    """Column names of a columnar trace (for display)."""
+    from .workloads.trace import read_columnar_meta
+    return list(read_columnar_meta(path)["columns"])
+
+
+def cmd_trace_gen(args: argparse.Namespace) -> None:
+    """Generate a hot-mix trace straight to columnar storage.
+
+    Chunked generation with per-chunk seeded RNG streams the trace to
+    disk, so 100M+-access traces never occupy RAM.
+    """
+    from .workloads.trace import generate_hot_mix_stream
+    columnar = generate_hot_mix_stream(
+        args.out, args.accesses, hot_lines=args.hot_lines,
+        cold_fraction=args.cold_fraction,
+        region_bytes=args.region_mb * units.MB,
+        write_fraction=args.write_fraction, seed=args.seed,
+        chunk_size=args.chunk)
+    total = columnar.addrs.nbytes + columnar.writes.nbytes
+    print(f"columnar trace: {args.out} ({columnar.length:,} accesses, "
+          f"{total / units.MB:.0f} MB on disk, region "
+          f"{args.region_mb} MB)")
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> None:
+    """Replay a columnar trace: streamed chunks, optional sharding.
+
+    ``--shards 1`` (default) streams the memory-mapped trace through
+    one runtime in fixed chunks; ``--shards N`` partitions by page
+    modulo across N runtimes (``--processes`` workers).  With
+    ``--rss-ceiling-mb`` the command exits nonzero if peak RSS exceeds
+    the ceiling — the CI guard that streaming replay stays O(chunk)
+    in memory no matter the trace length.
+    """
+    import resource
+
+    from .workloads.trace import open_columnar
+
+    if args.input is None:
+        raise SystemExit("trace-replay needs --input TRACE_DIR")
+    chunk = args.chunk
+    if chunk % 256:
+        raise SystemExit(f"--chunk {chunk} must be a multiple of the "
+                         f"256-access maintenance cadence")
+    columnar = open_columnar(args.input)
+    summary: Dict[str, Any] = {
+        "trace": args.input,
+        "accesses": columnar.length,
+        "chunk": chunk,
+        "shards": args.shards,
+    }
+    import time as _time
+    t0 = _time.perf_counter()
+    if args.shards <= 1:
+        from .kona.config import KonaConfig
+        from .kona.runtime import KonaRuntime
+        cfg = KonaConfig(fmem_capacity=args.fmem_mb * units.MB,
+                         vfmem_capacity=args.vfmem_mb * units.MB,
+                         slab_bytes=16 * units.MB)
+        rt = KonaRuntime(cfg)
+        region = rt.mmap(columnar.memory_bytes)
+        report = rt.run_trace_stream(columnar.iter_chunks(chunk),
+                                     base=region.start)
+        summary.update({
+            "elapsed_model_ns": report.elapsed_ns,
+            "cache_hits": rt.counters["cache_hits"],
+            "cache_misses": rt.counters["cache_misses"],
+            "remote_fetches": rt.agent.counters["remote_fetches"],
+            "pages_evicted": rt.eviction.stats.pages_evicted,
+        })
+    else:
+        from .experiments.shard import make_shards, run_sharded
+        result = run_sharded(
+            make_shards(args.input, args.shards, chunk_size=chunk,
+                        fmem_mb=args.fmem_mb, vfmem_mb=args.vfmem_mb),
+            processes=args.processes)
+        summary.update({
+            "elapsed_model_ns": result.elapsed_ns,
+            "cache_hits": result.totals["cache_hits"],
+            "cache_misses": result.totals["cache_misses"],
+            "remote_fetches": result.totals["remote_fetches"],
+            "pages_evicted": result.totals["pages_evicted"],
+            "per_shard_accesses": [o.accesses for o in result.outcomes],
+        })
+    summary["wall_seconds"] = round(_time.perf_counter() - t0, 3)
+    # ru_maxrss is KB on Linux; the ceiling check is the whole point of
+    # streaming (100M accesses must not mean 100M-entry arrays in RAM).
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    summary["peak_rss_mb"] = round(peak_mb, 1)
+    print(json.dumps(summary, indent=2))
+    if args.rss_ceiling_mb is not None and peak_mb > args.rss_ceiling_mb:
+        print(f"FAIL: peak RSS {peak_mb:.1f} MB exceeds ceiling "
+              f"{args.rss_ceiling_mb} MB", file=sys.stderr)
+        raise SystemExit(1)
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -507,6 +639,9 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "chaos": cmd_chaos,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "trace-convert": cmd_trace_convert,
+    "trace-gen": cmd_trace_gen,
+    "trace-replay": cmd_trace_replay,
     "trace": cmd_trace,
     "profile": cmd_profile,
     "perfdiff": cmd_perfdiff,
@@ -514,15 +649,23 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
 }
 
 
+#: File-driven utilities: excluded from ``repro all`` (they need
+#: --input/--out paths rather than regenerating a paper artifact).
+_NOT_IN_ALL = {"trace-convert", "trace-gen", "trace-replay"}
+
+
 def cmd_list(args: argparse.Namespace) -> None:
     """List available experiments."""
     for name, func in COMMANDS.items():
-        print(f"{name:10s} {func.__doc__.strip()}")
+        summary = func.__doc__.strip().splitlines()[0]
+        print(f"{name:14s} {summary}")
 
 
 def cmd_all(args: argparse.Namespace) -> None:
     """Run every experiment in sequence."""
     for name, func in COMMANDS.items():
+        if name in _NOT_IN_ALL:
+            continue
         print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
         func(args)
 
@@ -596,6 +739,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="perfdiff: allowed fractional speedup drop "
                              "from the baseline")
+    parser.add_argument("--input", default=None,
+                        help="trace-convert/trace-replay: source trace "
+                             "(.npz file or columnar directory)")
+    parser.add_argument("--to", choices=["columnar", "npz"],
+                        default="columnar",
+                        help="trace-convert: target format")
+    parser.add_argument("--accesses", type=int, default=1_000_000,
+                        help="trace-gen: accesses to generate")
+    parser.add_argument("--chunk", type=int, default=1 << 20,
+                        help="trace-gen/trace-replay: streaming chunk "
+                             "size in accesses (multiple of 256)")
+    parser.add_argument("--hot-lines", type=int, default=16384,
+                        help="trace-gen: hot working-set size in lines")
+    parser.add_argument("--cold-fraction", type=float, default=0.002,
+                        help="trace-gen: per-access cold-miss probability")
+    parser.add_argument("--write-fraction", type=float, default=0.3,
+                        help="trace-gen: per-access write probability")
+    parser.add_argument("--fmem-mb", type=int, default=64,
+                        help="trace-replay: FMem cache capacity (MB)")
+    parser.add_argument("--vfmem-mb", type=int, default=256,
+                        help="trace-replay: VFMem capacity (MB)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="trace-replay: page-modulo address shards")
+    parser.add_argument("--rss-ceiling-mb", type=float, default=None,
+                        help="trace-replay: fail if peak RSS exceeds "
+                             "this many MB (streaming memory guard)")
     return parser
 
 

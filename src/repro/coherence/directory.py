@@ -334,6 +334,46 @@ class Directory:
                                       is_write=True))
         return bool(was_dirty)
 
+    def snoop_page(self, page_addr: int, page_size: int) -> int:
+        """Bulk :meth:`snoop` of every line in one page.
+
+        The eviction drain snoops whole pages (64 lines for a 4 KB
+        page), and almost all of those lines are untracked or merely
+        SHARED: the per-line transitions are identical to
+        :meth:`snoop`, but the untracked-line fast path skips the
+        counter update, event construction and invariant check that
+        dominate the scalar loop.  Returns the number of dirty copies
+        recalled.
+        """
+        entries = self._entries
+        agents = self._agents
+        invalid = LineState.INVALID
+        shared = LineState.SHARED
+        self.counters.add("snoops", page_size // units.CACHE_LINE)
+        dirty = 0
+        for line_addr in range(page_addr, page_addr + page_size,
+                               units.CACHE_LINE):
+            entry = entries.get(line_addr)
+            if entry is None or entry.state is invalid \
+                    or entry.state is shared:
+                continue
+            owner = entry.owner
+            if owner is None:
+                raise CoherenceError(
+                    "E/M/O entry without owner during snoop")
+            invalidate, _ = agents.get(owner, (None, None))
+            was_dirty = (entry.state.dirty if invalidate is None
+                         else invalidate(line_addr))
+            entry.sharers.discard(owner)
+            entry.owner = None
+            entry.state = shared if entry.sharers else invalid
+            entry.check_invariants()
+            if was_dirty:
+                dirty += 1
+                self._emit(CoherenceEvent(EventKind.SNOOPED, line_addr,
+                                          is_write=True))
+        return dirty
+
     # -- internals -----------------------------------------------------------------
 
     def _invalidate_agent(self, agent_id: Optional[int],

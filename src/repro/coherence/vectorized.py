@@ -97,6 +97,11 @@ class VectorizedCoherentCache:
         self.counters = counters if counters is not None else Counter()
         self.record_mutations = False
         self._mutations: List[Tuple[int, int]] = []   # (kind, tag)
+        # classify() scratch (grown on demand): the (m, ways) gather and
+        # compare dominate its cost, and reallocating multi-megabyte
+        # temporaries per chunk is most of that.
+        self._cls_rows = np.empty((0, ways), dtype=np.int64)
+        self._cls_hits = np.empty((0, ways), dtype=bool)
 
     # -- dict-cache interop ------------------------------------------------------
 
@@ -107,19 +112,37 @@ class VectorizedCoherentCache:
                   capacity=cache.num_sets * cache.ways * units.CACHE_LINE,
                   ways=cache.ways, protocol=cache.protocol,
                   counters=cache.counters)
-        clock = 0
+        # Collect the resident lines first and land them with three
+        # bulk assignments — per-line scalar stores into the 2-D arrays
+        # dominate snapshot time on a warm cache.  Append order is the
+        # age order (one global clock), so ages are just 1..clock (only
+        # relative age *within* a set matters, and each set's lines
+        # stay contiguous and in dict — i.e. LRU — order).  The inner
+        # work runs at C speed: dict-view extends, a mapped state→code
+        # translation, and one vectorized address→tag shift.
+        counts = vec._counts
+        ways = cache.ways
+        code_of = _CODE_OF.__getitem__
+        flats: List[int] = []
+        addrs: List[int] = []
+        codes: List[int] = []
         for sidx, lines in enumerate(cache._sets):
             if not lines:
                 continue
-            vec._counts[sidx] = len(lines)
-            base = sidx * cache.ways
-            for way, (line_addr, state) in enumerate(lines.items()):
-                clock += 1
-                tag = line_addr // units.CACHE_LINE
-                vec._tags[sidx, way] = tag
-                vec._state[sidx, way] = _CODE_OF[state]
-                vec._age[sidx, way] = clock
-                vec._tag_map[tag] = base + way
+            n = len(lines)
+            counts[sidx] = n
+            base = sidx * ways
+            flats.extend(range(base, base + n))
+            addrs.extend(lines.keys())
+            codes.extend(map(code_of, lines.values()))
+        clock = len(flats)
+        if clock:
+            f = np.array(flats, dtype=np.intp)
+            tags = np.array(addrs, dtype=np.int64) // units.CACHE_LINE
+            vec._tags_f[f] = tags
+            vec._state_f[f] = codes
+            vec._age_f[f] = np.arange(1, clock + 1)
+            vec._tag_map.update(zip(tags.tolist(), flats))
         vec._clock = clock
         return vec
 
@@ -204,9 +227,15 @@ class VectorizedCoherentCache:
         patches the masks (the engine does this) rather than
         reclassifying.
         """
+        m = tags.shape[0]
+        if self._cls_rows.shape[0] < m:
+            self._cls_rows = np.empty((m, self.ways), dtype=np.int64)
+            self._cls_hits = np.empty((m, self.ways), dtype=bool)
+        rows = self._cls_rows[:m]
+        hit_ways = self._cls_hits[:m]
         sidx = (tags & self._set_mask).astype(np.intp, copy=False)
-        rows = self._tags[sidx]
-        hit_ways = rows == tags[:, None]
+        np.take(self._tags, sidx, axis=0, out=rows)
+        np.equal(rows, tags[:, None], out=hit_ways)
         resident = hit_ways.any(axis=1)
         way = hit_ways.argmax(axis=1)
         flat = sidx * self.ways + way
@@ -222,14 +251,17 @@ class VectorizedCoherentCache:
         caller guarantees every element is a pure hit under the current
         state.  ``ages`` must be strictly increasing and larger than
         every timestamp already in the cache, so duplicate lines
-        resolve to their last access via ``maximum.at`` — exactly the
-        dict cache's move-to-back discipline.
+        resolve to their last access by plain last-write-wins fancy
+        assignment — exactly the dict cache's move-to-back discipline
+        (and exactly what ``maximum.at`` would compute, minus the
+        unbuffered ufunc overhead).
         """
-        np.maximum.at(self._age_f, flat, ages)
-        if writes.any():
-            # Pure write hits are on writable (E/M) lines; E -> M is the
-            # silent upgrade, M -> M is idempotent.
-            self._state_f[flat[writes]] = MODIFIED
+        self._age_f[flat] = ages
+        # Pure write hits are on writable (E/M) lines; E -> M is the
+        # silent upgrade, M -> M is idempotent.  An all-read run makes
+        # this an empty fancy assignment, which is cheaper than probing
+        # with writes.any() first on the (common) runs that do write.
+        self._state_f[flat[writes]] = MODIFIED
         self.counters.add("hits", int(flat.size))
 
     # -- replayed (non-pure) accesses --------------------------------------------

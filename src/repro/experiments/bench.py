@@ -221,6 +221,15 @@ class RuntimeBenchCase:
     cold_fraction: float = 0.002      # ~1 data access per 500 hot hits
     region_mb: int = 192
     write_fraction: float = 0.3
+    #: Report/display key; lets two cases share a workload model at
+    #: different scales without colliding in history and perf-gate
+    #: joins (which key cases by this name).  Defaults to ``workload``.
+    label: Optional[str] = None
+
+    @property
+    def case_label(self) -> str:
+        """Display/report key: the label when set, else the workload."""
+        return self.label or self.workload
 
 
 #: The acceptance case: hot-set reuse, so the CPU coherent cache —
@@ -230,13 +239,30 @@ RUNTIME_CANONICAL_CASE = RuntimeBenchCase("hot-mix", 1_000_000)
 
 #: Secondary coverage: real workload models at miss-heavy ratios (the
 #: adaptive engine's scalar-escape path) with an FMem small enough to
-#: drive the eviction/writeback machinery.
+#: drive the eviction/writeback machinery, plus a 4M-access hot-mix
+#: scale point (4x the canonical) pinning throughput at trace lengths
+#: where per-run setup cost is fully amortized.
 RUNTIME_EXTRA_CASES = (
     RuntimeBenchCase("page-rank", 150_000, fmem_mb=8),
     RuntimeBenchCase("voltdb-tpcc", 150_000, fmem_mb=8),
+    RuntimeBenchCase("hot-mix", 4_000_000, label="hot-mix-4m"),
 )
 
-RUNTIME_QUICK_CASES = (RuntimeBenchCase("hot-mix", 150_000),)
+#: Quick (CI) cases mirror the full suite's workload mix at small trace
+#: lengths so the perf gate's history records cover every committed
+#: baseline case except the 4M scale point.
+RUNTIME_QUICK_CASES = (
+    RuntimeBenchCase("hot-mix", 150_000),
+    RuntimeBenchCase("page-rank", 60_000, fmem_mb=8),
+    RuntimeBenchCase("voltdb-tpcc", 60_000, fmem_mb=8),
+)
+
+#: The streaming scale point: accesses replayed from a memory-mapped
+#: columnar trace in fixed chunks (a multiple of the 256-access
+#: maintenance cadence, so the stream is bit-identical to a monolithic
+#: run — which is verified, not assumed).
+STREAMING_CASE_ACCESSES = 2_000_000
+STREAMING_CHUNK = 1 << 18
 
 
 def _build_runtime(case: RuntimeBenchCase):
@@ -363,7 +389,8 @@ def run_runtime_case(case: RuntimeBenchCase, scalar_runs: int = 2,
     timed = fp["runtime"].get("cache_hits", 0) \
         + fp["runtime"].get("cache_misses", 0)
     return {
-        "workload": case.workload,
+        "workload": case.case_label,
+        "model": case.workload,
         "num_accesses": n,
         "warmup_accesses": 0 if warm_addrs is None else int(warm_addrs.size),
         "windows": case.windows,
@@ -383,22 +410,84 @@ def run_runtime_case(case: RuntimeBenchCase, scalar_runs: int = 2,
     }
 
 
+def run_streaming_case(num_accesses: int = STREAMING_CASE_ACCESSES,
+                       chunk: int = STREAMING_CHUNK,
+                       workdir: Optional[str] = None) -> Dict[str, object]:
+    """The memory-mapped streaming scale point.
+
+    Generates a hot-mix trace straight to columnar storage, replays it
+    through ``run_trace_stream`` in fixed chunks, and verifies the
+    streamed fingerprint equals a monolithic ``run_trace`` over the
+    same accesses on a fresh runtime — the bit-exactness half of the
+    streaming contract, measured rather than assumed.
+    """
+    import tempfile
+    from ..workloads.trace import generate_hot_mix_stream
+
+    case = RuntimeBenchCase("hot-mix", num_accesses)
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        path = os.path.join(tmp, "hot-mix.trace")
+        columnar = generate_hot_mix_stream(
+            path, num_accesses, hot_lines=case.hot_lines,
+            cold_fraction=case.cold_fraction,
+            region_bytes=case.region_mb * units.MB,
+            write_fraction=case.write_fraction, seed=case.seed,
+            chunk_size=chunk)
+
+        rt = _build_runtime(case)
+        region = rt.mmap(columnar.memory_bytes)
+        t0 = time.perf_counter()
+        report = rt.run_trace_stream(columnar.iter_chunks(chunk),
+                                     base=region.start)
+        streamed_s = time.perf_counter() - t0
+        streamed_fp = runtime_fingerprint(rt, report)
+
+        rt2 = _build_runtime(case)
+        region2 = rt2.mmap(columnar.memory_bytes)
+        addrs = columnar.addrs[:].astype(np.int64) + np.int64(region2.start)
+        writes = np.asarray(columnar.writes)
+        t0 = time.perf_counter()
+        report2 = rt2.run_trace(addrs, writes)
+        monolithic_s = time.perf_counter() - t0
+        if streamed_fp != runtime_fingerprint(rt2, report2):
+            raise SimulationError(
+                "streamed replay diverged from monolithic run_trace: "
+                + _fingerprint_diff(streamed_fp,
+                                    runtime_fingerprint(rt2, report2)))
+    return {
+        "workload": "hot-mix-stream",
+        "num_accesses": num_accesses,
+        "chunk": chunk,
+        "streamed_seconds": streamed_s,
+        "monolithic_seconds": monolithic_s,
+        "maccesses_per_s": num_accesses / streamed_s / 1e6,
+        "fingerprint_matches_monolithic": True,
+    }
+
+
 def run_runtime_bench(quick: bool = False,
-                      cases: Optional[Sequence[RuntimeBenchCase]] = None
+                      cases: Optional[Sequence[RuntimeBenchCase]] = None,
+                      streaming: Optional[bool] = None
                       ) -> Dict[str, object]:
-    """Run the end-to-end runtime suite; returns the report payload."""
+    """Run the end-to-end runtime suite; returns the report payload.
+
+    ``streaming`` adds the columnar streaming scale point (defaults to
+    on for full runs, off for ``--quick``).
+    """
     if cases is None:
         cases = (RUNTIME_QUICK_CASES if quick
                  else (RUNTIME_CANONICAL_CASE, *RUNTIME_EXTRA_CASES))
+    if streaming is None:
+        streaming = not quick
     scalar_runs = 1 if quick else 2
-    batched_runs = 2 if quick else 3
+    batched_runs = 2 if quick else 4
     case_results = [run_runtime_case(c, scalar_runs, batched_runs)
                     for c in cases]
     canonical = next(
         (c for c in case_results
          if c["workload"] == RUNTIME_CANONICAL_CASE.workload),
         case_results[0])
-    return {
+    payload = {
         "benchmark": "kona-runtime-engine-bench",
         "version": 1,
         "quick": quick,
@@ -413,6 +502,9 @@ def run_runtime_bench(quick: bool = False,
         "canonical_workload": canonical["workload"],
         "canonical_speedup": canonical["speedup"],
     }
+    if streaming:
+        payload["streaming"] = run_streaming_case()
+    return payload
 
 
 def write_bench(payload: Dict[str, object], path: str = BENCH_FILENAME) -> str:
@@ -440,7 +532,7 @@ def history_record(payload: Dict[str, object]) -> Dict[str, object]:
             "scalar_seconds": case["scalar"]["seconds"],
             f"{fast}_seconds": case[fast]["seconds"],
         })
-    return {
+    record = {
         "benchmark": payload["benchmark"],
         "version": payload["version"],
         "quick": payload["quick"],
@@ -450,6 +542,15 @@ def history_record(payload: Dict[str, object]) -> Dict[str, object]:
         "canonical_workload": payload["canonical_workload"],
         "canonical_speedup": payload["canonical_speedup"],
     }
+    streaming = payload.get("streaming")
+    if streaming is not None:
+        record["streaming"] = {
+            "workload": streaming["workload"],
+            "num_accesses": streaming["num_accesses"],
+            "streamed_seconds": streaming["streamed_seconds"],
+            "maccesses_per_s": streaming["maccesses_per_s"],
+        }
+    return record
 
 
 def append_history(payload: Dict[str, object],
@@ -486,8 +587,12 @@ def load_history(path: str = HISTORY_FILENAME,
     return records
 
 
-def check_speedup(payload: Dict[str, object], min_speedup: float) -> List[str]:
-    """Regression gate: canonical speedup must reach ``min_speedup``.
+def check_speedup(payload: Dict[str, object], min_speedup: float,
+                  min_case_speedup: float = 1.0) -> List[str]:
+    """Regression gate: canonical speedup must reach ``min_speedup``,
+    and *every* committed case must reach ``min_case_speedup`` — the
+    batched engine being slower than the oracle anywhere is a
+    regression no canonical-case win excuses.
 
     Returns a list of failure messages (empty when the gate passes).
     """
@@ -496,4 +601,17 @@ def check_speedup(payload: Dict[str, object], min_speedup: float) -> List[str]:
     if got < min_speedup:
         failures.append(
             f"canonical speedup {got:.2f}x below required {min_speedup}x")
+    for case in payload.get("cases", ()):
+        if case["speedup"] < min_case_speedup:
+            failures.append(
+                f"{case['workload']} speedup {case['speedup']:.2f}x below "
+                f"required {min_case_speedup}x")
+        if not case.get("counters_match", False):
+            failures.append(f"{case['workload']} counters diverged "
+                            f"between engines")
+    streaming = payload.get("streaming")
+    if streaming is not None and not streaming.get(
+            "fingerprint_matches_monolithic", False):
+        failures.append("streamed replay fingerprint diverged from "
+                        "monolithic run_trace")
     return failures

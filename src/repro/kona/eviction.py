@@ -49,17 +49,23 @@ from .config import KonaConfig
 
 
 def _mask_segments(mask: int):
-    """Contiguous dirty runs in a 64-bit line mask: (start, length)."""
+    """Contiguous dirty runs in a 64-bit line mask: (start, length).
+
+    Bit tricks keep this O(runs) instead of O(64): ``mask & -mask``
+    isolates the lowest set bit (skip the zeros below it in one step)
+    and ``(mask + 1) & ~mask`` isolates the bit just above the trailing
+    ones (the run length falls out of its position).
+    """
     segments = []
     i = 0
-    while i < units.LINES_PER_PAGE:
-        if mask & (1 << i):
-            start = i
-            while i < units.LINES_PER_PAGE and mask & (1 << i):
-                i += 1
-            segments.append((start, i - start))
-        else:
-            i += 1
+    while mask:
+        zeros = (mask & -mask).bit_length() - 1
+        i += zeros
+        mask >>= zeros
+        run = ((mask + 1) & ~mask).bit_length() - 1   # trailing ones
+        segments.append((i, run))
+        i += run
+        mask >>= run
     return segments
 
 

@@ -57,9 +57,15 @@ class FailureManager:
                  mode: FallbackMode = FallbackMode.PAGE_FAULT_FALLBACK,
                  page_table: Optional[PageTable] = None,
                  latency: LatencyModel = DEFAULT_LATENCY,
-                 coherence_timeout_ns: float = 100_000.0) -> None:
+                 coherence_timeout_ns: float = 100_000.0,
+                 fabric=None) -> None:
         self.translation = translation
         self.controller = controller
+        #: Optional fabric reference: every node failure registers in
+        #: ``fabric._down`` (``MemoryNode.fail`` calls ``fail_node``),
+        #: so an empty set proves the whole rack healthy and the fetch
+        #: path can skip the replica walk.
+        self.fabric = fabric
         self.mode = mode
         self.page_table = page_table
         self.latency = latency
@@ -82,6 +88,14 @@ class FailureManager:
         :class:`NodeFailure` after page-fault degradation (fallback
         mode) when no replica is reachable.
         """
+        fabric = self.fabric
+        if fabric is not None and not fabric._down:
+            # Healthy rack: the primary is alive by construction, which
+            # is exactly what the replica walk below would conclude —
+            # skip materializing the replica list on the hot fetch path.
+            return FetchOutcome(
+                location=self.translation.resolve(vfmem_addr),
+                used_replica=False, retries=0, extra_latency_ns=0.0)
         locations = self.translation.resolve_replicas(vfmem_addr)
         retries = 0
         for i, location in enumerate(locations):

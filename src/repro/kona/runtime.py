@@ -118,7 +118,8 @@ class KonaRuntime:
         self.failures = FailureManager(self.translation, self.controller,
                                        mode=failure_mode,
                                        page_table=self.page_table,
-                                       latency=latency)
+                                       latency=latency,
+                                       fabric=self.fabric)
         prefetcher = None
         if cfg.prefetch_policy != "none":
             from ..fpga.prefetcher import make_prefetcher
@@ -457,7 +458,7 @@ class KonaRuntime:
         return report
 
     def run_trace(self, addrs: np.ndarray, writes: np.ndarray,
-                  engine: str = "batched") -> ExecutionReport:
+                  engine: str = "batched", base: int = 0) -> ExecutionReport:
         """Execute an access stream; returns the same report shape as
         the page-based engine, so Figure 7 can compare them directly.
 
@@ -466,6 +467,11 @@ class KonaRuntime:
         else through the scalar back-end (see :mod:`repro.kona.engine`);
         ``engine="scalar"`` is the one-access-at-a-time oracle.  Both
         produce bit-identical reports, counters and component state.
+
+        ``base`` adds a constant offset to every address as it is
+        consumed — streamed columnar traces store region-relative
+        addresses, and rebasing per chunk avoids materializing a
+        shifted copy of a 100M-entry array.
         """
         if addrs.shape != writes.shape:
             raise ConfigError("addrs and writes must have identical shape")
@@ -474,9 +480,9 @@ class KonaRuntime:
             # front-end bulk-resolves hits and would skip them.
             engine = "scalar"
         if engine == "batched":
-            stall = run_trace_batched(self, addrs, writes)
+            stall = run_trace_batched(self, addrs, writes, base=base)
         elif engine == "scalar":
-            stall = self._run_trace_scalar(addrs, writes)
+            stall = self._run_trace_scalar(addrs, writes, base=base)
         else:
             raise ConfigError(f"unknown run_trace engine {engine!r}; "
                               "choose 'batched' or 'scalar'")
@@ -494,8 +500,65 @@ class KonaRuntime:
             bytes_written_back=self.eviction.stats.wire_bytes,
         )
 
+    def run_trace_stream(self, chunks, engine: str = "batched",
+                         base: int = 0) -> ExecutionReport:
+        """Execute a chunked access stream without holding it in RAM.
+
+        ``chunks`` yields ``(addrs, writes)`` array pairs (e.g. from
+        :func:`repro.workloads.trace.iter_trace_chunks`).  Every chunk
+        except the last must be a multiple of the 256-access
+        maintenance cadence, which makes the ``maybe_evict``/sampler
+        schedule — and therefore every counter and the bit-exact
+        ``elapsed_ns`` — identical to one monolithic ``run_trace`` over
+        the concatenated trace.  One float stall-accumulation chain
+        threads through all chunks (see the ordering contract in
+        ``docs/architecture.md``).
+        """
+        if engine not in ("batched", "scalar"):
+            raise ConfigError(f"unknown run_trace engine {engine!r}; "
+                              "choose 'batched' or 'scalar'")
+        if engine == "batched" and self.content is not None:
+            engine = "scalar"
+        stall = 0.0
+        total = 0
+        pending = False   # a non-multiple chunk must be the last one
+        for addrs, writes in chunks:
+            if addrs.shape != writes.shape:
+                raise ConfigError("addrs and writes must have identical "
+                                  "shape")
+            if pending:
+                raise ConfigError(
+                    "streamed chunks must be multiples of the 256-access "
+                    "maintenance cadence (only the final chunk may be "
+                    "ragged)")
+            n = int(addrs.size)
+            if n == 0:
+                continue
+            if n % 256:
+                pending = True
+            if engine == "batched":
+                stall = run_trace_batched(self, addrs, writes, base=base,
+                                          stall=stall)
+            else:
+                stall = self._run_trace_scalar(addrs, writes, stall,
+                                               base=base)
+            total += n
+        app = self.app_ns_per_access * total
+        self.account.charge("app_compute", app)
+        return ExecutionReport(
+            name="kona",
+            accesses=total,
+            elapsed_ns=stall + app,
+            background_ns=self.background_ns,
+            account=self.account,
+            counters=self.counters,
+            bytes_fetched=(self.agent.counters["remote_fetches"]
+                           * self.config.fetch_block),
+            bytes_written_back=self.eviction.stats.wire_bytes,
+        )
+
     def _run_trace_scalar(self, addrs: np.ndarray, writes: np.ndarray,
-                          stall: float = 0.0) -> float:
+                          stall: float = 0.0, base: int = 0) -> float:
         """The oracle loop: one Python call chain per access.
 
         Iterates the trace in fixed-size chunks so large traces never
@@ -515,7 +578,7 @@ class KonaRuntime:
             hi = min(pos + _SCALAR_CHUNK, n)
             for addr, is_write in zip(addrs[pos:hi].tolist(),
                                       writes[pos:hi].tolist()):
-                stall += access(int(addr), is_write)
+                stall += access(int(addr) + base, is_write)
                 if i & 0xFF == 0:
                     maybe_evict()   # background reclaimer ticks periodically
                     if tick is not None:
@@ -525,14 +588,16 @@ class KonaRuntime:
 
     # -- maintenance ----------------------------------------------------------------------
 
-    def maybe_evict(self) -> int:
+    def maybe_evict(self, evict_page=None) -> int:
         """Watermark-driven proactive eviction (config watermarks).
 
         When FMem occupancy exceeds the high watermark, reclaim LRU
         pages down to the low watermark — off the critical path, the
         way the paper's Eviction Handler "monitors the cache
         utilization and evicts pages to make room" (section 4.1).
-        Returns pages reclaimed.
+        ``evict_page`` optionally substitutes the agent's per-page
+        drain (see ``MemoryAgent.proactive_evict``).  Returns pages
+        reclaimed.
         """
         if self.replication is not None and self.replication.backlog_slots:
             # Background maintenance: rebuild the replication factor a
@@ -548,7 +613,7 @@ class KonaRuntime:
         if count <= 0:
             return 0
         self.counters.add("watermark_reclaims")
-        return self.agent.proactive_evict(count)
+        return self.agent.proactive_evict(count, evict_page=evict_page)
 
     def _check_replication_recovered(self) -> None:
         """Close the health loop once redundancy is fully rebuilt."""

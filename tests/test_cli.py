@@ -210,6 +210,86 @@ class TestExecution:
         assert "Durability proof" in out
         assert "bit-identical" in out
 
+    def test_trace_gen_replay_round_trip(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "hot.trace"
+        assert main(["trace-gen", "--out", str(trace),
+                     "--accesses", "20000", "--hot-lines", "2048",
+                     "--region-mb", "8", "--chunk", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "columnar trace" in out and "20,000 accesses" in out
+        assert main(["trace-replay", "--input", str(trace),
+                     "--chunk", "8192", "--fmem-mb", "4",
+                     "--vfmem-mb", "32",
+                     "--rss-ceiling-mb", "4096"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["accesses"] == 20000
+        assert summary["cache_hits"] + summary["cache_misses"] == 20000
+        assert summary["elapsed_model_ns"] > 0
+        assert summary["peak_rss_mb"] > 0
+
+    def test_trace_replay_sharded_matches_totals(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "hot.trace"
+        main(["trace-gen", "--out", str(trace), "--accesses", "20000",
+              "--hot-lines", "2048", "--region-mb", "8",
+              "--chunk", "8192"])
+        capsys.readouterr()
+        assert main(["trace-replay", "--input", str(trace),
+                     "--chunk", "8192", "--fmem-mb", "4",
+                     "--vfmem-mb", "32", "--shards", "2",
+                     "--processes", "1"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert sum(summary["per_shard_accesses"]) == 20000
+
+    def test_trace_replay_rss_ceiling_enforced(self, capsys, tmp_path):
+        trace = tmp_path / "hot.trace"
+        main(["trace-gen", "--out", str(trace), "--accesses", "8192",
+              "--hot-lines", "512", "--region-mb", "4",
+              "--chunk", "4096"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(["trace-replay", "--input", str(trace),
+                  "--chunk", "4096", "--fmem-mb", "4",
+                  "--vfmem-mb", "32", "--rss-ceiling-mb", "1"])
+        assert exc.value.code == 1
+
+    def test_trace_replay_rejects_misaligned_chunk(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace-replay", "--input", str(tmp_path),
+                  "--chunk", "300"])
+
+    def test_trace_convert_round_trip(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.common import units
+        from repro.workloads.trace import load_trace, make_trace, save_trace
+
+        npz_a = tmp_path / "a.npz"
+        columnar = tmp_path / "b.trace"
+        npz_b = tmp_path / "c.npz"
+        rng = np.random.default_rng(3)
+        n = 5000
+        trace = make_trace(
+            (rng.integers(0, 1 << 16, n).astype(np.uint64)
+             * np.uint64(units.CACHE_LINE)),
+            np.full(n, units.WORD, np.uint32),
+            rng.random(n) < 0.3,
+            rng.integers(0, 4, n).astype(np.uint32),
+            memory_bytes=16 * units.MB, name="rand")
+        save_trace(trace, npz_a)
+        assert main(["trace-convert", "--input", str(npz_a),
+                     "--out", str(columnar), "--to", "columnar"]) == 0
+        assert "columnar trace" in capsys.readouterr().out
+        assert main(["trace-convert", "--input", str(columnar),
+                     "--out", str(npz_b), "--to", "npz"]) == 0
+        assert "npz trace" in capsys.readouterr().out
+        again = load_trace(npz_b)
+        assert np.array_equal(again.data, trace.data)
+        assert again.memory_bytes == trace.memory_bytes
+
     def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
         import json
 

@@ -1,0 +1,141 @@
+"""Streamed replay: chunked ``run_trace_stream`` vs monolithic oracle.
+
+The contract under test: feeding a trace through ``run_trace_stream``
+in chunks (each a multiple of the 256-access maintenance cadence,
+except possibly the last) leaves the runtime in a state — every
+counter, the dirty bitmap, the time accounting, and the bit-exact
+``elapsed_ns`` — identical to one monolithic ``run_trace`` over the
+concatenated trace.  Because float addition is not associative, this
+only holds if the engine threads ONE stall-accumulation chain through
+all chunks in program order; these tests pin that ordering contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import units
+from repro.common.errors import ConfigError
+from repro.experiments.bench import runtime_fingerprint
+from repro.kona.config import KonaConfig
+from repro.kona.runtime import KonaRuntime
+
+
+def _trace(n=20_000, seed=0, lines=1 << 14, region=8 * units.MB):
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, lines, n).astype(np.int64)
+             * units.CACHE_LINE) % region
+    return addrs, rng.random(n) < 0.3
+
+
+def _runtime(region=8 * units.MB):
+    cfg = KonaConfig(fmem_capacity=4 * units.MB,
+                     vfmem_capacity=32 * units.MB,
+                     slab_bytes=16 * units.MB)
+    rt = KonaRuntime(cfg)
+    return rt, rt.mmap(region)
+
+
+def _chunks(addrs, writes, sizes):
+    pos = 0
+    for size in sizes:
+        yield addrs[pos:pos + size], writes[pos:pos + size]
+        pos += size
+    assert pos == addrs.size
+
+
+class TestStreamEqualsMonolithic:
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    def test_fixed_chunks(self, engine):
+        addrs, writes = _trace()
+        rt_m, region_m = _runtime()
+        report_m = rt_m.run_trace(addrs + region_m.start, writes,
+                                  engine=engine)
+        rt_s, region_s = _runtime()
+        sizes = [4096] * 4 + [addrs.size - 4 * 4096]
+        report_s = rt_s.run_trace_stream(
+            _chunks(addrs, writes, sizes), engine=engine,
+            base=region_s.start)
+        assert runtime_fingerprint(rt_s, report_s) \
+            == runtime_fingerprint(rt_m, report_m)
+
+    def test_base_rebase_equals_prebased(self):
+        # Per-chunk base rebasing (no shifted copy of the trace) must
+        # behave exactly like adding the offset up front.
+        addrs, writes = _trace(8192, seed=4)
+        rt_a, region_a = _runtime()
+        report_a = rt_a.run_trace(addrs + region_a.start, writes)
+        rt_b, region_b = _runtime()
+        report_b = rt_b.run_trace(addrs, writes, base=region_b.start)
+        assert runtime_fingerprint(rt_a, report_a) \
+            == runtime_fingerprint(rt_b, report_b)
+
+    def test_ragged_final_chunk_allowed(self):
+        addrs, writes = _trace(10_000, seed=1)
+        rt_m, region_m = _runtime()
+        report_m = rt_m.run_trace(addrs + region_m.start, writes)
+        rt_s, region_s = _runtime()
+        report_s = rt_s.run_trace_stream(
+            _chunks(addrs, writes, [7936, 1792, 272]),
+            base=region_s.start)
+        assert runtime_fingerprint(rt_s, report_s) \
+            == runtime_fingerprint(rt_m, report_m)
+
+    def test_empty_chunks_skipped(self):
+        addrs, writes = _trace(2048, seed=2)
+        rt_m, region_m = _runtime()
+        report_m = rt_m.run_trace(addrs + region_m.start, writes)
+        rt_s, region_s = _runtime()
+        sizes = [0, 1024, 0, 1024, 0]
+        report_s = rt_s.run_trace_stream(
+            _chunks(addrs, writes, sizes), base=region_s.start)
+        assert runtime_fingerprint(rt_s, report_s) \
+            == runtime_fingerprint(rt_m, report_m)
+
+
+class TestStallSummationOrderingProperty:
+    """Property test: ANY cadence-aligned chunking is bit-exact.
+
+    ``elapsed_ns`` is a float sum of per-miss stalls; float addition
+    does not commute with regrouping, so bit-equality across arbitrary
+    chunkings proves the stream threads one summation chain in program
+    order rather than summing per chunk and combining.
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_cadence_aligned_chunkings(self, seed):
+        addrs, writes = _trace(12_800, seed=seed, lines=1 << 15)
+        rt_m, region_m = _runtime()
+        report_m = rt_m.run_trace(addrs + region_m.start, writes)
+        oracle = runtime_fingerprint(rt_m, report_m)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(3):
+            sizes = []
+            left = addrs.size
+            while left > 0:
+                size = min(int(rng.integers(1, 20)) * 256, left)
+                sizes.append(size)
+                left -= size
+            rt_s, region_s = _runtime()
+            report_s = rt_s.run_trace_stream(
+                _chunks(addrs, writes, sizes), base=region_s.start)
+            got = runtime_fingerprint(rt_s, report_s)
+            assert got == oracle, f"chunking {sizes[:8]}... diverged"
+            assert got["elapsed_ns"] == oracle["elapsed_ns"]
+
+    def test_misaligned_middle_chunk_rejected(self):
+        addrs, writes = _trace(2048, seed=3)
+        rt, region = _runtime()
+        with pytest.raises(ConfigError):
+            rt.run_trace_stream(
+                _chunks(addrs, writes, [300, 1748]), base=region.start)
+
+    def test_shape_mismatch_rejected(self):
+        rt, region = _runtime()
+        bad = iter([(np.zeros(4, np.int64), np.zeros(3, bool))])
+        with pytest.raises(ConfigError):
+            rt.run_trace_stream(bad, base=region.start)
+
+    def test_unknown_engine_rejected(self):
+        rt, _ = _runtime()
+        with pytest.raises(ConfigError):
+            rt.run_trace_stream(iter([]), engine="warp")
