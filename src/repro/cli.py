@@ -23,6 +23,9 @@ Usage::
                                   [--to columnar|npz]
     python -m repro trace-replay --input DIR [--chunk N] [--shards N]
                                  [--processes N] [--rss-ceiling-mb MB]
+    python -m repro faults [--seed 0] [--ops 20000] [--top 10]
+                           [--json FILE] [--trace-out FILE]
+                           [--check-overhead [--quick] [--output FILE]]
     python -m repro profile [--top 10] [--window-us 100]
     python -m repro perfdiff [--run-a A.json --run-b B.json]
                              [--against BENCH_runtime.json --tolerance 0.5]
@@ -473,6 +476,123 @@ def cmd_trace(args: argparse.Namespace) -> None:
           f"{health['degradations']} degradation(s)")
 
 
+def _faults_overhead(args: argparse.Namespace) -> None:
+    """The ``repro faults --check-overhead`` gate half."""
+    from .experiments.bench import RUNTIME_CANONICAL_CASE, RuntimeBenchCase
+    from .experiments.faults import (CAUSAL_BENCH_FILENAME,
+                                     check_capture_overhead,
+                                     run_causal_bench, write_causal_bench)
+    case = (RuntimeBenchCase("hot-mix", 150_000) if args.quick
+            else RUNTIME_CANONICAL_CASE)
+    payload = run_causal_bench(case, runs=2 if args.quick else 3)
+    result = payload["case"]
+    print(f"{result['workload']:>12s}  {result['num_accesses']:>9,} accesses  "
+          f"capture-off {result['off_seconds']:.3f}s  "
+          f"capture-on {result['on_seconds']:.3f}s  "
+          f"overhead {result['overhead']:.3f}x  "
+          f"({result['fault_records']:,} fault records, fingerprint "
+          f"{'ok' if result['fingerprint_matches'] else 'MISMATCH'})")
+    path = write_causal_bench(payload, args.output or CAUSAL_BENCH_FILENAME)
+    print(f"report: {path}")
+    failures = check_capture_overhead(payload)
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        raise SystemExit(1)
+    print(f"capture overhead gate passed "
+          f"(<= {result['max_overhead']:.2f}x, bit-identical state)")
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    """Causal fault attribution: hop breakdowns, hot maps, tail windows."""
+    if args.check_overhead:
+        _faults_overhead(args)
+        return
+    from .experiments.faults import attribution_report, run_fault_campaign
+    from .obs.export import fault_chain_trace
+
+    failover = run_fault_campaign(seed=args.seed, ops=args.ops)
+    log = failover.fault_log
+    report = attribution_report(log, top=args.top)
+    summary = report["summary"]
+    degraded = (summary["health"]["degraded"]
+                + summary["health"]["recovering"])
+    print(render_table(
+        ["metric", "value"],
+        [("faults", report["faults"]),
+         ("remote faults", summary["remote_fetches"]),
+         ("fmem-hit faults", summary["fmem_hits"]),
+         ("degraded-window faults", degraded),
+         ("fabric-down faults", summary["fabric_down_faults"]),
+         ("replica-read faults", summary["replica_faults"]),
+         ("dominant hop", report["dominant_hop"]),
+         *((f"stall {q}", f"{v:,} ns")
+           for q, v in report["quantiles_ns"].items())],
+        title=f"Fault attribution (seed {args.seed}, {args.ops} ops)"))
+    print()
+    print(render_table(
+        ["hop", "total stall ns", "dominated in degraded windows"],
+        [(hop, f"{report['hop_totals_ns'][hop]:,}",
+          report["degraded_hop_counts"].get(hop, 0))
+         for hop in ("dir", "fab", "mem", "repl")],
+        title="Per-hop stall budget"))
+    print()
+    print(render_table(
+        ["seq", "page", "node", "health", "total ns",
+         "dir", "fab", "mem", "repl"],
+        [(f["seq"], f["page"], f["node"] or "-", f["health"],
+          f["total_ns"], f["hops_ns"]["dir"], f["hops_ns"]["fab"],
+          f["hops_ns"]["mem"], f["hops_ns"]["repl"])
+         for f in report["top_faults"]],
+        title=f"Top {args.top} slowest faults (hop breakdown)"))
+    print()
+    print(render_table(
+        ["page", "faults"],
+        [(p["page"], p["faults"]) for p in report["hot_pages"]],
+        title="Hot pages by fault count"))
+    print()
+    print(render_table(
+        ["node", "fetches", "stall ns"],
+        [(row["node"], row["fetches"], f"{row['stall_ns']:,}")
+         for row in report["nodes"]],
+        title="Per-node hot map"))
+    if report["tail_anomalies"]:
+        print()
+        print(render_table(
+            ["window", "seq range", "max ns", "score", "dominant hop",
+             "degraded"],
+            [(a["window"], f"{a['start_seq']}-{a['end_seq']}",
+              round(a["max_ns"], 1), round(a["score"], 1),
+              a["dominant_hop"], a["degraded_faults"])
+             for a in report["tail_anomalies"]],
+            title="Tail-anomaly windows (MAD outliers)"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"\nattribution report: {args.json}")
+    if args.trace_out:
+        payload = fault_chain_trace(log, top=args.top)
+        errors = validate_chrome_trace(payload)
+        if errors:
+            for msg in errors[:10]:
+                print(f"INVALID: {msg}", file=sys.stderr)
+            raise SystemExit(1)
+        with open(args.trace_out, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        print(f"fault-chain chrome trace: {args.trace_out} "
+              f"({len(payload['traceEvents'])} events) — open in Perfetto")
+    degraded_doms = report["degraded_hop_counts"]
+    outage_hops = (degraded_doms.get("fab", 0)
+                   + degraded_doms.get("repl", 0))
+    if degraded and not outage_hops:
+        print("\nFAIL: outage-window faults exist but none are dominated "
+              "by the fabric or replication hops — attribution is blind "
+              "to the failover")
+        raise SystemExit(1)
+
+
 def cmd_profile(args: argparse.Namespace) -> None:
     """Trace profiler: self time, critical path, stall attribution."""
     _, recorder = run_flight(seed=args.seed, ops=args.trace_ops)
@@ -643,6 +763,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "trace-gen": cmd_trace_gen,
     "trace-replay": cmd_trace_replay,
     "trace": cmd_trace,
+    "faults": cmd_faults,
     "profile": cmd_profile,
     "perfdiff": cmd_perfdiff,
     "slo": cmd_slo,
@@ -722,7 +843,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bench/perfdiff: history JSONL path "
                              "('none' disables)")
     parser.add_argument("--top", type=int, default=10,
-                        help="profile: rows in the span/category tables")
+                        help="profile/faults: rows in the top tables")
+    parser.add_argument("--json", default=None,
+                        help="faults: write the attribution report JSON")
+    parser.add_argument("--check-overhead", action="store_true",
+                        help="faults: run the capture-overhead gate "
+                             "instead of the attribution campaign")
     parser.add_argument("--window-us", type=float, default=100.0,
                         help="profile: stall-attribution window (us)")
     parser.add_argument("--run-a", default=None,

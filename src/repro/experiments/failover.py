@@ -134,6 +134,10 @@ class FailoverResult:
     scrub_repairs: int
     recorder: Optional[FlightRecorder] = None
     engine: Optional[SLOEngine] = None
+    #: Causal fault log of the fault run (``capture=True`` only).
+    #: Deliberately outside :meth:`fingerprint` — capture must never
+    #: change campaign outcomes, and the tests pin that separately.
+    fault_log: Optional[Any] = None
 
     @property
     def passed(self) -> bool:
@@ -184,7 +188,8 @@ def run_failover(seed: int = 0, ops: int = 20_000,
                  rules: Optional[Sequence[SLORule]] = None,
                  tracing: bool = False,
                  sample_interval_ns: float = SAMPLE_INTERVAL_NS,
-                 max_events: int = 500_000) -> FailoverResult:
+                 max_events: int = 500_000,
+                 capture: bool = False) -> FailoverResult:
     """Run the memnode-failover durability campaign end to end.
 
     Schedule: kill the victim at ``kill_fraction`` of the (oracle-
@@ -193,6 +198,12 @@ def run_failover(seed: int = 0, ops: int = 20_000,
     provably in flight; silently corrupt ``corrupt_lines`` stored
     lines on a surviving node at ``corrupt_fraction``.  The final
     image must still equal the no-fault oracle's, bit for bit.
+
+    ``capture=True`` attaches causal fault tracing to the fault run:
+    every remote fetch is attributed hop by hop, health transitions
+    carry the dominant hop and tail exemplars, and the result's
+    ``fault_log`` pins the outage-window tail to the fabric and
+    replication hops.
     """
     oracle, total_est = _oracle_image(seed, ops)
     recorder = FlightRecorder(tracing=tracing,
@@ -205,6 +216,9 @@ def run_failover(seed: int = 0, ops: int = 20_000,
         registry=recorder.registry,
         sampler=recorder.sampler)
     slo_engine.attach(runtime.health)
+    cap = runtime.attach_causal_capture() if capture else None
+    if cap is not None:
+        slo_engine.attach_fault_log(cap)
     region = runtime.mmap(REGION_BYTES)
     addrs, writes = chaos_stream(region.start, ops, seed)
     engine = ChaosEngine(runtime, seed=seed, amat_tolerance=amat_tolerance)
@@ -241,4 +255,5 @@ def run_failover(seed: int = 0, ops: int = 20_000,
         scrub_repairs=int(runtime.counters["scrub_repairs"]),
         recorder=recorder,
         engine=slo_engine,
+        fault_log=cap.log if cap is not None else None,
     )

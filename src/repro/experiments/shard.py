@@ -57,6 +57,7 @@ class ShardSpec:
     fmem_mb: int = 64
     vfmem_mb: int = 256
     app_ns: float = 70.0
+    capture: bool = False         # per-shard causal fault capture
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -80,6 +81,7 @@ class ShardOutcome:
     counters: Counter
     remote_fetches: int
     pages_evicted: int
+    fault_log: Optional[object] = None   # FaultLog when capture was on
 
 
 @dataclass
@@ -100,6 +102,25 @@ class ShardedRunResult:
         """Wall-model time of the sharded deployment: the slowest
         shard (they run concurrently on independent nodes)."""
         return max((o.elapsed_ns for o in self.outcomes), default=0.0)
+
+    def fault_log(self):
+        """All shards' causal fault logs merged into one (None when
+        capture was off).  Per-shard record streams are disjoint
+        (page-modulo partition), so the merge is the exact cluster
+        aggregate — see ``FaultLog.merge``."""
+        merged = None
+        for outcome in self.outcomes:
+            log = outcome.fault_log
+            if log is None:
+                continue
+            if merged is None:
+                from ..obs.causal import FaultLog
+                merged = FaultLog(window_size=log.window_size,
+                                  top_k=log.top_k,
+                                  reservoir_size=log.reservoir_size,
+                                  seed=log.seed)
+            merged.merge(log)
+        return merged
 
 
 def shard_mask(addrs: np.ndarray, shard: int, num_shards: int,
@@ -159,6 +180,7 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
                      slab_bytes=16 * units.MB)
     rt = KonaRuntime(cfg, app_ns_per_access=spec.app_ns)
     region = rt.mmap(columnar.memory_bytes)
+    cap = rt.attach_causal_capture() if spec.capture else None
 
     def parts():
         for addrs, writes in columnar.iter_chunks(spec.chunk_size):
@@ -178,7 +200,8 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
         shard=spec.shard, accesses=report.accesses,
         elapsed_ns=report.elapsed_ns, counters=counters,
         remote_fetches=rt.agent.counters["remote_fetches"],
-        pages_evicted=rt.eviction.stats.pages_evicted)
+        pages_evicted=rt.eviction.stats.pages_evicted,
+        fault_log=cap.log if cap is not None else None)
 
 
 def make_shards(trace_path: str, num_shards: int,

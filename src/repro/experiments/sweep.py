@@ -26,6 +26,7 @@ from ..cache.amat import ALL_SYSTEMS
 from ..common import units
 from ..common.errors import ConfigError
 from ..common.stats import Counter
+from ..obs.registry import HistogramMetric
 from ..tools.kcachesim import KCacheSim
 from ..workloads.amat import AMAT_SPECS
 
@@ -61,6 +62,10 @@ class SweepResult:
     counters: List[Counter] = field(default_factory=list)
     #: Whole-sweep traffic, aggregated across every worker's points.
     totals: Counter = field(default_factory=Counter)
+    #: Whole-sweep AMAT distribution (every system at every point),
+    #: folded from per-worker histograms via ``HistogramMetric.merge``
+    #: — bucket counts identical to a serial single-histogram run.
+    amat_hist: HistogramMetric = field(default_factory=HistogramMetric)
 
     def series(self, system: str) -> List[Tuple[float, float]]:
         """(cache_fraction, amat_ns) pairs for one system, grid order."""
@@ -91,7 +96,8 @@ def sweep_grid(workloads: Iterable[str],
 
 
 def _run_point(point: SweepPoint) -> Tuple[Dict[str, float],
-                                           Dict[str, float], Counter]:
+                                           Dict[str, float], Counter,
+                                           HistogramMetric]:
     """Simulate one grid point (module-level: picklable for the pool)."""
     spec = AMAT_SPECS[point.workload]()
     sim = KCacheSim(spec, engine=point.engine)
@@ -105,7 +111,10 @@ def _run_point(point: SweepPoint) -> Tuple[Dict[str, float],
     tally.add("remote_writebacks", hierarchy.remote_writebacks)
     for level, hits in hierarchy.level_hits.items():
         tally.add(f"hits.{level}", hits)
-    return amat, hierarchy.served_fractions(), tally
+    hist = HistogramMetric()
+    for name in ALL_SYSTEMS:
+        hist.observe(amat[name])
+    return amat, hierarchy.served_fractions(), tally, hist
 
 
 def run_sweep(points: Sequence[SweepPoint],
@@ -127,10 +136,13 @@ def run_sweep(points: Sequence[SweepPoint],
         with Pool(processes=processes) as pool:
             outcomes = pool.map(_run_point, points)
     totals = Counter()
-    for _, _, tally in outcomes:
+    amat_hist = HistogramMetric()
+    for _, _, tally, hist in outcomes:
         totals.merge(tally)
+        amat_hist.merge(hist)
     return SweepResult(points=points,
-                       amat_ns=[a for a, _, _ in outcomes],
-                       served=[s for _, s, _ in outcomes],
-                       counters=[c for _, _, c in outcomes],
-                       totals=totals)
+                       amat_ns=[a for a, _, _, _ in outcomes],
+                       served=[s for _, s, _, _ in outcomes],
+                       counters=[c for _, _, c, _ in outcomes],
+                       totals=totals,
+                       amat_hist=amat_hist)

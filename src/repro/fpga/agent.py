@@ -83,6 +83,9 @@ class MemoryAgent:
         self.tracer = tracer
         self._eviction_sinks: List[EvictionSink] = []
         self._last_access_ns = 0.0
+        # Causal fault capture (runtime.attach_causal_capture): the
+        # demand-fill path emits one record per serve when attached.
+        self._capture = None
         # Pluggable remote read cost (node, nbytes) -> ns; defaults to a
         # linked RDMA read on the latency model.
         self._remote_read_ns = (
@@ -179,6 +182,9 @@ class MemoryAgent:
             self.counters.add("fmem_hits")
             cost = self.latency.fmem_ns
             self.account.charge("fmem_hit", cost)
+            cap = self._capture
+            if cap is not None:
+                cap.record(cap.seq, line_addr, None, 0, 0.0, 0.0, cost)
             if tracing:
                 tracer.emit("fetch.fmem_hit", cost, "fetch")
             # Stream detection also fires on hits — that is what keeps
@@ -197,6 +203,10 @@ class MemoryAgent:
             self._evict_page(eviction.vfmem_page_addr)
         read_ns = self._remote_read_ns(location.node, units.CACHE_LINE)
         critical = self.latency.coherence_msg_ns + read_ns
+        cap = self._capture
+        if cap is not None:
+            cap.record(cap.seq, line_addr, location.node, 1,
+                       self.latency.coherence_msg_ns, read_ns, 0.0)
         if tracing:
             tracer.emit("rdma.read", read_ns, "rdma", node=location.node,
                         nbytes=units.CACHE_LINE)

@@ -136,7 +136,7 @@ class _FusedLane:
     """
 
     __slots__ = (
-        "rt", "front", "agent", "directory", "entries", "marks",
+        "rt", "front", "agent", "directory", "entries", "marks", "cap",
         "fm_cache", "fm_lines", "fm_policies", "fm_stats", "fm_ways",
         "fm_set_mask", "page_size", "tag_page_shift", "bitmap",
         "account", "locate", "node_memo", "fabric_down", "extra_delays",
@@ -161,6 +161,11 @@ class _FusedLane:
         self.rt = rt
         self.front = front
         self.agent = agent
+        # Causal capture sink (None when off).  The lane records at its
+        # inlined fill sites; generic detours route through the real
+        # MemoryAgent, which records for itself — mutually exclusive by
+        # construction, so no fault is recorded twice.
+        self.cap = rt._capture
         self.directory = agent.directory
         self.entries = self.directory._entries
         self.fm_cache = fc
@@ -409,6 +414,9 @@ class _FusedLane:
                 self.n_fmem_charges += 1
             else:
                 self.account.charge("fmem_hit", cost)
+            if self.cap is not None:
+                self.cap.record(self.cap.seq, line, None, 0,
+                                0.0, 0.0, cost)
             if self.prefetch is not None:
                 if self.marks:
                     self._flush_marks()
@@ -441,6 +449,9 @@ class _FusedLane:
         if self.has_remainder:
             self.account.charge("fill_background", self.fill_bg_ns)
         self.account.charge("remote_fetch", cost)
+        if self.cap is not None:
+            self.cap.record(self.cap.seq, line, location.node, 1,
+                            self.coh_ns, read_ns, 0.0)
         self.last_page = page_tag   # just inserted: the set's MRU
         if self.prefetch is not None:
             if self.marks:
@@ -450,7 +461,7 @@ class _FusedLane:
         return cost
 
     def replay(self, seg_tags: np.ndarray, seg_w: np.ndarray, age0: int,
-               stall: float) -> float:
+               stall: float, seq0: int = 0) -> float:
         """Fused scalar replay of one miss-heavy segment.
 
         The loop inlines :meth:`miss` and :meth:`_serve_fill` with every
@@ -509,6 +520,10 @@ class _FusedLane:
         nm_get = node_memo.get
         fast_net = not self.extra_delays
         read_base = self.read_base
+        cap = self.cap
+        # Global access ordinal of the access aged ``age``: faults are
+        # keyed by sequence number so streamed/sharded captures line up.
+        seq_off = seq0 - age0
         hits = 0
         misses = 0
         upgrades = 0
@@ -531,6 +546,8 @@ class _FusedLane:
                         age_f[flat] = age
                         hits += 1
                         continue
+                    if cap is not None:
+                        cap.seq = seq_off + age
                     self.upgrade(tag, age)
                     upgrades += 1
                     continue
@@ -540,6 +557,8 @@ class _FusedLane:
                     entry = DirectoryEntry()
                     entries[line] = entry
                 elif entry.state is not _S_INVALID:
+                    if cap is not None:
+                        cap.seq = seq_off + age
                     cost = self._miss_generic(line, isw, age)[3]
                     stall += cost
                     stall_b["memory_stall"] += cost
@@ -620,6 +639,9 @@ class _FusedLane:
                         l_n_fmem += 1
                     else:
                         acct["fmem_hit"] += cost
+                    if cap is not None:
+                        cap.record(seq_off + age, line, None, 0,
+                                   0.0, 0.0, cost)
                 elif page_tag in fm_all[fm_sidx := page_tag & fm_set_mask]:
                     l_stat_hits += 1
                     if fm_lru:
@@ -636,6 +658,9 @@ class _FusedLane:
                         l_n_fmem += 1
                     else:
                         acct["fmem_hit"] += cost
+                    if cap is not None:
+                        cap.record(seq_off + age, line, None, 0,
+                                   0.0, 0.0, cost)
                     last_page = page_tag
                 else:
                     l_remote += 1
@@ -670,6 +695,9 @@ class _FusedLane:
                     if has_remainder:
                         acct["fill_background"] += fill_bg
                     acct["remote_fetch"] += cost
+                    if cap is not None:
+                        cap.record(seq_off + age, line, node, 1,
+                                   coh_ns, read_ns, 0.0)
                     last_page = page_tag   # just inserted: the set's MRU
                 if prefetch is not None:
                     if marks:
@@ -940,6 +968,11 @@ def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
     tick = rt.obs.tick if rt.obs.sampler is not None else None
     maybe_evict = rt.maybe_evict
     counters = rt.counters
+    # Causal capture numbers faults by global access ordinal: ``base``
+    # counts accesses completed before this run (streamed chunks), and
+    # each span/segment threads its chunk-relative offset down.
+    cap = rt._capture
+    seq_base = cap.base if cap is not None else 0
     try:
         pos = 0
         vector_mode = True
@@ -949,6 +982,8 @@ def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
                 # Scalar stretch (mode switches land on chunk = cadence
                 # boundaries, so maintenance timing is unchanged).
                 hits0 = counters["cache_hits"]
+                if cap is not None:
+                    cap.base = seq_base + pos
                 stall = rt._run_trace_scalar(addrs[pos:hi], writes[pos:hi],
                                              stall, base=base)
                 hits = counters["cache_hits"] - hits0
@@ -971,7 +1006,8 @@ def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
             limit = a.size if ok.all() else int(ok.argmin())
             tags = a >> _LINE_SHIFT
             stall, replayed = _run_span(rt, front, tags[:limit], w[:limit],
-                                        pos, stall, maybe_evict, tick, lane)
+                                        pos, stall, maybe_evict, tick, lane,
+                                        seq_base + pos)
             if limit < a.size:
                 # Same behaviour as the scalar loop: every access before
                 # the bad one has executed; the bad one raises.
@@ -989,6 +1025,8 @@ def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
                 rt.cpu_cache.attach(directory)
                 imported = False
                 vector_mode = False
+        if cap is not None:
+            cap.base = seq_base + n
     finally:
         if lane is not None:
             lane.flush()
@@ -1002,7 +1040,8 @@ def run_trace_batched(rt: "KonaRuntime", addrs: np.ndarray,
 def _run_span(rt: "KonaRuntime", front: VectorizedCoherentCache,
               tags: np.ndarray, w: np.ndarray, g_base: int, stall: float,
               maybe_evict, tick,
-              lane: Optional[_FusedLane] = None) -> Tuple[float, int]:
+              lane: Optional[_FusedLane] = None,
+              seq0: int = 0) -> Tuple[float, int]:
     """Run one chunk, segmented at the maintenance cadence.
 
     The scalar loop runs ``maybe_evict``/``obs.tick`` *after* access
@@ -1033,12 +1072,12 @@ def _run_span(rt: "KonaRuntime", front: VectorizedCoherentCache,
         end = min(cadence - g_base + 1, m)
         if hot:
             stall = _run_patch(rt, front, tags, w, pure, resident, flat,
-                               ages, local, end, stall, lane)
+                               ages, local, end, stall, lane, seq0)
         else:
             stall, seg_replayed = _run_segment(rt, front, tags[local:end],
                                                w[local:end],
                                                front._clock + 1,
-                                               stall, lane)
+                                               stall, lane, seq0 + local)
             replayed += seg_replayed
         front._clock += end - local
         if (g_base + end - 1) % _CADENCE == 0:
@@ -1069,7 +1108,8 @@ def _run_span(rt: "KonaRuntime", front: VectorizedCoherentCache,
 def _run_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
                  seg_tags: np.ndarray, seg_w: np.ndarray, age0: int,
                  stall: float,
-                 lane: Optional[_FusedLane] = None) -> Tuple[float, int]:
+                 lane: Optional[_FusedLane] = None,
+                 seq0: int = 0) -> Tuple[float, int]:
     """Bulk-resolve pure-hit runs; replay each boundary event.
 
     Returns ``(stall, accesses handled by scalar replay)``.
@@ -1082,19 +1122,20 @@ def _run_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
         # replay the segment access-by-access against the front-end's
         # tag map — same events, same order, same counters.
         if lane is not None:
-            return lane.replay(seg_tags, seg_w, age0, stall), length
+            return lane.replay(seg_tags, seg_w, age0, stall,
+                               seq0), length
         return _replay_segment(rt, front, seg_tags, seg_w, age0,
-                               stall), length
+                               stall, seq0), length
     ages = np.arange(age0, age0 + length, dtype=np.int64)
     return _run_patch(rt, front, seg_tags, seg_w, pure, resident, flat,
-                      ages, 0, length, stall, lane), 0
+                      ages, 0, length, stall, lane, seq0), 0
 
 
 def _run_patch(rt: "KonaRuntime", front: VectorizedCoherentCache,
                tags: np.ndarray, w: np.ndarray, pure: np.ndarray,
                resident: np.ndarray, flat: np.ndarray, ages: np.ndarray,
                start: int, end: int, stall: float,
-               lane: Optional[_FusedLane]) -> float:
+               lane: Optional[_FusedLane], seq0: int = 0) -> float:
     """Run/patch ``[start, end)`` of a classified window.
 
     Bulk-resolves pure-hit runs; each boundary event is dispatched off
@@ -1115,6 +1156,7 @@ def _run_patch(rt: "KonaRuntime", front: VectorizedCoherentCache,
     tm_get = front._tag_map.get
     state_f = front._state_f
     age_f = front._age_f
+    cap = rt._capture
     inline_hits = 0
     p = start
     while p < end:
@@ -1149,6 +1191,8 @@ def _run_patch(rt: "KonaRuntime", front: VectorizedCoherentCache,
             inline_hits += 1
         elif fslot >= 0:
             # Resident but not writable on a write: upgrade (S/O -> M).
+            if cap is not None:
+                cap.seq = seq0 + p   # a rare generic re-fill records
             if lane is not None:
                 lane.upgrade(tag, age)
                 lane.d_cache_hits += 1
@@ -1159,6 +1203,8 @@ def _run_patch(rt: "KonaRuntime", front: VectorizedCoherentCache,
                 _patch_mutations(front, tags[p + 1:], w[p + 1:],
                                  pure[p + 1:], resident[p + 1:])
         else:
+            if cap is not None:
+                cap.seq = seq0 + p
             if lane is not None:
                 victim_tag, code, fill_flat, cost = lane.miss(
                     tag, isw, age)
@@ -1198,7 +1244,7 @@ _WRITABLE_PY = tuple(bool(x) for x in _WRITABLE)
 
 def _replay_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
                     seg_tags: np.ndarray, seg_w: np.ndarray, age0: int,
-                    stall: float) -> float:
+                    stall: float, seq0: int = 0) -> float:
     """Scalar replay of one segment against the vectorized front-end.
 
     Functionally identical to the run/patch path (``front``'s scalar
@@ -1215,6 +1261,8 @@ def _replay_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
     tag_map = front._tag_map
     state_f = front._state_f
     age_f = front._age_f
+    cap = rt._capture
+    seq_off = seq0 - age0
     hits = 0
     misses = 0
     age = age0 - 1
@@ -1228,9 +1276,13 @@ def _replay_segment(rt: "KonaRuntime", front: VectorizedCoherentCache,
                 age_f[flat] = age
                 hits += 1
                 continue
+            if cap is not None:
+                cap.seq = seq_off + age
             front.upgrade(tag << _LINE_SHIFT, age)
             counters.add("cache_hits")
             continue
+        if cap is not None:
+            cap.seq = seq_off + age
         front.miss_fill(tag << _LINE_SHIFT, isw, age)
         cost = agent.last_access_ns
         stall += cost

@@ -181,6 +181,9 @@ class KonaRuntime:
         self.account = Account()
         self.counters = Counter()
         self.background_ns = 0.0
+        #: Causal fault capture (attach_causal_capture); None keeps the
+        #: access and replay hot paths at a single pointer test.
+        self._capture = None
         self._register_metrics()
 
     # -- wiring helpers -----------------------------------------------------------
@@ -343,6 +346,12 @@ class KonaRuntime:
             self.health.degrade("fetch failed over to replica")
         if outcome.extra_latency_ns:
             self.account.charge("failover_wait", outcome.extra_latency_ns)
+        if self._capture is not None and (outcome.extra_latency_ns
+                                          or outcome.used_replica):
+            # Stash the failover outcome for the fault record the fill
+            # is about to emit (the fetch that triggered this locate).
+            self._capture._repl_ns = outcome.extra_latency_ns
+            self._capture._used_replica = outcome.used_replica
         if self.content is not None:
             # Checksum-verify the page as the fill streams in; repairs
             # overlap with the DMA, so the cost stays off the critical
@@ -378,6 +387,30 @@ class KonaRuntime:
                 self.replication.content_active = True
         return self.content
 
+    def attach_causal_capture(self, **kwargs):
+        """Attach per-access causal fault capture; returns the sink.
+
+        Every CPU-cache miss served from here on emits one columnar
+        record ``(seq, line, node, kind, per-hop stall breakdown,
+        health/chaos state)`` into a :class:`~repro.obs.causal.
+        CausalCapture`; read the mergeable aggregate via ``.log``.
+        Capture only observes — counters, accounts and the simulated
+        clock are untouched, so runs with and without it are
+        bit-identical (differential-tested).  ``kwargs`` pass through
+        to :class:`~repro.obs.causal.CausalCapture` (window size,
+        top-K, reservoir seed...).
+        """
+        if self._capture is None:
+            from ..obs.causal import CausalCapture
+            kwargs.setdefault("page_size", self.config.page_size)
+            cap = CausalCapture(**kwargs)
+            cap.bind_fabric(self.fabric._down)
+            cap.on_health(self.health.state.name)
+            self.health.add_context_provider(cap.on_health)
+            self._capture = cap
+            self.agent._capture = cap
+        return self._capture
+
     # -- allocation API ---------------------------------------------------------------
 
     def malloc(self, size: int) -> int:
@@ -404,6 +437,13 @@ class KonaRuntime:
         """
         if addr not in self.vfmem:
             raise AddressError(f"{addr:#x} is not Kona-managed memory")
+        cap = self._capture
+        if cap is not None:
+            # Scalar path: each access is the next global ordinal.  The
+            # batched engine manages ``base`` around scalar stretches so
+            # both engines number faults identically.
+            cap.seq = cap.base
+            cap.base += 1
         hit = self.cpu_cache.access(addr, is_write)
         if is_write and self.content is not None:
             # The access completed (no fault raised): the write is now

@@ -9,6 +9,7 @@ the run-to-run diff (:mod:`repro.obs.diff`), the time-series store
 and Control tower) for the span model, export formats and data flow.
 """
 
+from .causal import CausalCapture, FaultLog, tail_anomalies
 from .analysis import (
     ProfileReport,
     SpanNode,
@@ -32,6 +33,7 @@ from .diff import (
 )
 from .export import (
     chrome_trace,
+    fault_chain_trace,
     jsonl_lines,
     prometheus_text,
     validate_chrome_trace,
@@ -55,9 +57,11 @@ from .tsdb import TimeSeriesStore
 __all__ = [
     "Alert",
     "BenchDelta",
+    "CausalCapture",
     "CounterMetric",
     "DiffEntry",
     "DiffReport",
+    "FaultLog",
     "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
@@ -79,6 +83,7 @@ __all__ = [
     "critical_path",
     "diff_bench",
     "diff_runs",
+    "fault_chain_trace",
     "jsonl_lines",
     "load_artifact",
     "profile",
@@ -86,6 +91,7 @@ __all__ = [
     "run_artifact",
     "save_artifact",
     "stall_windows",
+    "tail_anomalies",
     "top_stalls",
     "traced",
     "validate_chrome_trace",

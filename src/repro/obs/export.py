@@ -24,15 +24,22 @@ from typing import Any, Dict, List
 
 from .registry import HistogramMetric, MetricsRegistry
 
-#: Chrome trace event phases we emit / accept.
+#: Chrome trace event phases we emit / accept.  ``s``/``t``/``f`` are
+#: flow events (linked arrows across tracks) — causal fault chains use
+#: them to connect a fault's hops across the component tracks.
 _PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+_FLOW_PHASES = {"s", "t", "f"}
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
-#: Virtual-timeline track ids: spans/instants vs sampled gauge series.
+#: Virtual-timeline track ids: spans/instants vs sampled gauge series,
+#: plus the causal fault-chain tracks (one per hop component).
 _SPAN_TID = 1
 _COUNTER_TID = 2
+_FAULT_RUNTIME_TID = 3
+_FAULT_FABRIC_TID = 4
+_FAULT_MEMNODE_TID = 5
 
 
 def chrome_trace(events: List[Dict[str, Any]],
@@ -57,13 +64,83 @@ def chrome_trace(events: List[Dict[str, Any]],
     for event in events:
         converted = dict(event)
         converted["pid"] = 1
-        converted["tid"] = (_COUNTER_TID if event.get("ph") == "C"
-                            else _SPAN_TID)
+        # Events that already chose a track (causal fault chains) keep
+        # it; tracer spans and counters land on the default tracks.
+        if "tid" not in event:
+            converted["tid"] = (_COUNTER_TID if event.get("ph") == "C"
+                                else _SPAN_TID)
         converted["ts"] = event["ts"] / 1e3
         if "dur" in event:
             converted["dur"] = event["dur"] / 1e3
         out.append(converted)
     return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def fault_chain_events(log, top: int = 16) -> List[Dict[str, Any]]:
+    """Tracer-shaped events for a fault log's slowest causal chains.
+
+    Each top-K exemplar becomes one chain: an ``X`` span per non-zero
+    hop — directory on the runtime track, fabric read on the fabric
+    track, FMem/replication service on the memnode track — linked by
+    flow events (``s``/``t``/``f`` arrows with the fault's seq as flow
+    id), so Perfetto draws each slow fault as an arrow chain across
+    the component tracks.  Fault records carry no wall-clock instant
+    (capture is off the simulated clock by design), so chains are laid
+    out on a synthetic timeline at their access ordinal; timestamps
+    are in tracer ns (``chrome_trace`` scales them like span events).
+    """
+    events: List[Dict[str, Any]] = []
+    hop_tracks = (
+        ("dir", 8, _FAULT_RUNTIME_TID),
+        ("fab", 9, _FAULT_FABRIC_TID),
+        ("mem", 10, _FAULT_MEMNODE_TID),
+        ("repl", 11, _FAULT_MEMNODE_TID),
+    )
+    for ex in log.exemplars[:top]:
+        total, seq, line, page, node, kind = ex[:6]
+        t = float(seq) * 1e3   # spread chains out on the ordinal axis
+        args = {"seq": seq, "line": line, "page": page, "node": node,
+                "total_ns": round(total, 2)}
+        first = True
+        for hop, idx, tid in hop_tracks:
+            dur = ex[idx]
+            if dur <= 0.0:
+                continue
+            events.append({"name": f"fault#{seq} {hop}", "ph": "X",
+                           "ts": t, "dur": dur, "cat": "fault",
+                           "tid": tid, "args": dict(args, hop=hop)})
+            events.append({"name": f"fault#{seq}",
+                           "ph": "s" if first else "t",
+                           "ts": t, "cat": "fault", "tid": tid,
+                           "id": seq})
+            first = False
+            t += dur
+        if not first:
+            # Terminate the flow at the end of the last hop.
+            last = events[-1]
+            events.append({"name": f"fault#{seq}", "ph": "f",
+                           "ts": t, "cat": "fault",
+                           "tid": last["tid"], "id": seq, "bp": "e"})
+    return events
+
+
+def fault_chain_trace(log, top: int = 16,
+                      process_name: str = "kona-faults") -> Dict[str, Any]:
+    """A complete Chrome trace payload for the slowest fault chains."""
+    payload = chrome_trace(fault_chain_events(log, top=top),
+                           process_name=process_name)
+    payload["traceEvents"].extend([
+        {"name": "thread_name", "ph": "M", "pid": 1,
+         "tid": _FAULT_RUNTIME_TID, "ts": 0,
+         "args": {"name": "fault chains: runtime/directory"}},
+        {"name": "thread_name", "ph": "M", "pid": 1,
+         "tid": _FAULT_FABRIC_TID, "ts": 0,
+         "args": {"name": "fault chains: fabric"}},
+        {"name": "thread_name", "ph": "M", "pid": 1,
+         "tid": _FAULT_MEMNODE_TID, "ts": 0,
+         "args": {"name": "fault chains: memnode/replication"}},
+    ])
+    return payload
 
 
 def write_chrome_trace(recorder, path: str) -> str:
@@ -98,8 +175,10 @@ def validate_chrome_trace(payload: Any) -> List[str]:
             if field not in event:
                 errors.append(f"{where}: missing {field!r}")
         ph = event.get("ph")
-        if ph is not None and ph not in _PHASES:
+        if ph is not None and ph not in _PHASES and ph not in _FLOW_PHASES:
             errors.append(f"{where}: unknown phase {ph!r}")
+        if ph in _FLOW_PHASES and "id" not in event:
+            errors.append(f"{where}: flow event needs an id")
         ts = event.get("ts")
         if ts is not None and (not isinstance(ts, (int, float))
                                or ts < 0):

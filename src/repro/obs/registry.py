@@ -157,6 +157,40 @@ class HistogramMetric:
                 return min(max(estimate, self.min), self.max)
         return self.max
 
+    def merge(self, other: "HistogramMetric") -> "HistogramMetric":
+        """Fold another histogram's observations into this one.
+
+        Both histograms must use the same bucketing scheme — for the
+        log-bucketed scheme that means integer power-of-two exponents
+        (checked), so bucket boundaries are structurally aligned and
+        merged bucket counts equal those of a single histogram that
+        observed both streams.  ``count`` and the buckets merge
+        exactly; ``min``/``max`` are exact; ``sum`` adds the two exact
+        partial sums (bit-exact whenever the partial sums are exactly
+        representable, e.g. integer-valued observations).  Because the
+        buckets merge exactly, :meth:`quantile` on the merged
+        histogram carries the same error bound as on a sequentially
+        built one.  Returns self.
+        """
+        if not isinstance(other, HistogramMetric):
+            raise ConfigError(
+                f"cannot merge HistogramMetric with "
+                f"{type(other).__name__}")
+        for exp in other._buckets:
+            if not isinstance(exp, int):
+                raise ConfigError(
+                    f"misaligned histogram bucket bound {exp!r}: "
+                    f"expected an integer power-of-two exponent")
+        for exp, c in other._buckets.items():
+            self._buckets[exp] = self._buckets.get(exp, 0) + c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
     @property
     def p50(self) -> float:
         """Median estimate."""

@@ -48,7 +48,15 @@ class Sampler:
         if now < self._next_due:
             return False
         self.sample()
-        self._next_due = now + self.interval_ns
+        # Reschedule on the fixed interval grid rather than sliding to
+        # ``now + interval``: a tick that lands late (e.g. after a
+        # streamed chunk boundary rebases its replay base mid-interval)
+        # must neither push every later due time out (cadence drift)
+        # nor leave a passed grid point armed (double fire on the next
+        # tick).  Skipping whole intervals with no tick is fine — the
+        # grid stays anchored.
+        elapsed = now - self._next_due
+        self._next_due += (elapsed // self.interval_ns + 1) * self.interval_ns
         return True
 
     def sample(self) -> Dict[str, float]:

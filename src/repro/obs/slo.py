@@ -132,6 +132,7 @@ class SLOEngine:
         self.sampler = sampler
         self.alerts: List[Alert] = []
         self._seen: set = set()
+        self._fault_source: Any = None
 
     # -- sample judging -----------------------------------------------------------
 
@@ -269,12 +270,40 @@ class SLOEngine:
         """
         health.add_context_provider(self._health_context)
 
+    def attach_fault_log(self, source: Any) -> None:
+        """Bind a causal fault source for transition attribution.
+
+        ``source`` is a :class:`~repro.obs.causal.CausalCapture` (its
+        ``.log`` is read lazily, so the latest records are drained at
+        the transition) or a finished :class:`~repro.obs.causal.
+        FaultLog`.  Every health transition then carries the dominant
+        stall hop, the MAD tail-anomaly windows and the slowest fault
+        exemplars alongside the firing alerts.
+        """
+        self._fault_source = source
+
     def _health_context(self, state_name: str) -> Dict[str, Any]:
         if self.sampler is not None:
             self.sampler.sample()
         now = self.tsdb.span_ns[1]
         firing = self.evaluate_at(now)
-        return {"alerts": [a.brief() for a in firing],
-                "burn": {a.rule: (None if a.burn_rate == float("inf")
-                                  else round(a.burn_rate, 1))
-                         for a in firing}}
+        ctx = {"alerts": [a.brief() for a in firing],
+               "burn": {a.rule: (None if a.burn_rate == float("inf")
+                                 else round(a.burn_rate, 1))
+                        for a in firing}}
+        if self._fault_source is not None:
+            from .causal import tail_anomalies
+            log = getattr(self._fault_source, "log", self._fault_source)
+            if log.n:
+                anomalies = tail_anomalies(log)
+                ctx["dominant_hop"] = log.dominant_hop()
+                ctx["tail_windows"] = [
+                    {"window": a["window"],
+                     "dominant_hop": a["dominant_hop"],
+                     "max_ns": round(a["max_ns"], 1)}
+                    for a in anomalies[:3]]
+                ctx["top_faults"] = [
+                    {"seq": ex[1], "node": ex[4],
+                     "total_ns": round(ex[0], 1)}
+                    for ex in log.exemplars[:3]]
+        return ctx

@@ -69,6 +69,47 @@ class TimeSeriesStore:
         for name, value in row.items():
             self.append(ts, name, value)
 
+    def merge(self, other: "TimeSeriesStore",
+              base_ns: float = 0.0) -> "TimeSeriesStore":
+        """Fold another store's series into this one; returns self.
+
+        ``base_ns`` realigns the other store's timeline: every one of
+        its timestamps is shifted by ``base_ns`` before merging, which
+        is the chunk-base realignment a streamed/sharded run needs
+        when each chunk's store recorded time relative to its own
+        start.  Per series, the two (individually time-ordered) point
+        lists are interleaved by timestamp with ties keeping this
+        store's points first — exactly the order a single store would
+        have recorded, so merged and monolithic stores compare equal
+        via :meth:`as_dict`.  The per-series monotonic-append
+        invariant is preserved by construction.
+        """
+        if not isinstance(other, TimeSeriesStore):
+            raise ConfigError(f"cannot merge TimeSeriesStore with "
+                              f"{type(other).__name__}")
+        for name, points in other._series.items():
+            shifted = ([(ts + base_ns, v) for ts, v in points]
+                       if base_ns else list(points))
+            mine = self._series.get(name)
+            if not mine:
+                self._series[name] = shifted
+            elif not shifted or shifted[0][0] >= mine[-1][0]:
+                mine.extend(shifted)
+            else:
+                merged: List[Point] = []
+                i = j = 0
+                while i < len(mine) and j < len(shifted):
+                    if shifted[j][0] < mine[i][0]:
+                        merged.append(shifted[j])
+                        j += 1
+                    else:
+                        merged.append(mine[i])
+                        i += 1
+                merged.extend(mine[i:])
+                merged.extend(shifted[j:])
+                self._series[name] = merged
+        return self
+
     # -- introspection ------------------------------------------------------------
 
     def names(self) -> List[str]:

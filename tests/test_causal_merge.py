@@ -1,0 +1,239 @@
+"""Merge algebra of the causal fault plane: sharded == monolithic.
+
+Satellite contract: fault-log, histogram and tsdb merges across random
+page-modulo shardings and random chunkings reproduce the monolithic
+aggregates bit-exactly.  Two layers of evidence:
+
+* **synthetic streams** — the same record stream partitioned into K
+  captures (with random mid-stream drains) merges back to the exact
+  aggregate of one capture that saw everything;
+* **real runtimes** — a streamed replay under any 256-multiple
+  chunking emits the exact record stream of a monolithic run, and a
+  page-modulo sharded run's per-shard logs merge into the exact sum
+  of their parts.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common import units
+from repro.kona import KonaConfig, KonaRuntime
+from repro.obs.causal import CausalCapture, FaultLog
+from repro.obs.registry import HistogramMetric
+from repro.obs.tsdb import TimeSeriesStore
+from repro.workloads.trace import generate_hot_mix_stream
+
+NODES = (None, "mem0", "mem1", "mem2")
+HEALTH = ("HEALTHY", "DEGRADED", "RECOVERING")
+
+
+def synthetic_records(seed, n=2_000):
+    """(seq, line, node, kind, dir, fab, mem, repl, health) tuples.
+
+    Hop costs are integer-valued floats plus the real fractional
+    remote-read constant, so spectra exercise both exact and
+    fractional value-count merging.
+    """
+    rng = np.random.default_rng(seed)
+    records = []
+    health = "HEALTHY"
+    for seq in range(n):
+        if rng.random() < 0.01:
+            health = HEALTH[rng.integers(0, 3)]
+        line = int(rng.integers(0, 1 << 20)) * u.CACHE_LINE
+        if rng.random() < 0.7:
+            records.append((seq, line, None, 0, 0.0, 0.0, 220.0, 0.0,
+                            health))
+        else:
+            node = NODES[1 + rng.integers(0, 3)]
+            repl = float(rng.integers(0, 4) * 10_000) \
+                if rng.random() < 0.1 else 0.0
+            records.append((seq, line, node, 1, 70.0, 1519.32, 0.0,
+                            repl, health))
+    return records
+
+
+def feed(cap, records, drain_points=()):
+    """Replay synthetic records into one capture, draining mid-stream."""
+    drains = set(drain_points)
+    for i, (seq, line, node, kind, d, f, m, repl, health) in \
+            enumerate(records):
+        cap.on_health(health)
+        if repl:
+            cap._repl_ns = repl
+            cap._used_replica = True
+        cap.record(seq, line, node, kind, d, f, m)
+        if i in drains:
+            cap.flush()
+    return cap.log
+
+
+class TestSyntheticPartitionInvariance:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_shards", [2, 3, 5])
+    def test_page_modulo_sharding_merges_bit_exactly(self, seed,
+                                                     num_shards):
+        records = synthetic_records(seed)
+        rng = np.random.default_rng(seed + 100)
+        mono = feed(CausalCapture(), records,
+                    drain_points=rng.integers(0, len(records), 3))
+        shards = [CausalCapture() for _ in range(num_shards)]
+        parts = [[] for _ in range(num_shards)]
+        for rec in records:
+            page = rec[1] // units.PAGE_4K
+            parts[page % num_shards].append(rec)
+        merged = FaultLog()
+        for shard, part in zip(shards, parts):
+            drains = rng.integers(0, max(len(part), 1), 2)
+            merged.merge(feed(shard, part, drain_points=drains))
+        assert merged.aggregate() == mono.aggregate()
+
+    def test_merge_order_does_not_matter(self):
+        records = synthetic_records(7)
+        parts = [[], [], []]
+        for rec in records:
+            parts[(rec[1] // units.PAGE_4K) % 3].append(rec)
+        logs = [feed(CausalCapture(), p) for p in parts]
+        fwd, rev = FaultLog(), FaultLog()
+        for log in logs:
+            fwd.merge(log)
+        for log in reversed(logs):
+            rev.merge(log)
+        assert fwd.aggregate() == rev.aggregate()
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_random_chunking_merges_bit_exactly(self, seed):
+        records = synthetic_records(seed)
+        mono = feed(CausalCapture(), records)
+        rng = np.random.default_rng(seed)
+        cuts = sorted(rng.integers(1, len(records), 6))
+        merged = FaultLog()
+        for a, b in zip([0, *cuts], [*cuts, len(records)]):
+            merged.merge(feed(CausalCapture(), records[a:b]))
+        assert merged.aggregate() == mono.aggregate()
+
+
+class TestHistogramChunking:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_random_chunking_reproduces_monolithic(self, seed):
+        rng = np.random.default_rng(seed)
+        # Integer-valued observations: partial sums are exact, so the
+        # merged histogram is bit-identical, not just approximate.
+        values = rng.integers(1, 1 << 20, size=4_000).astype(float)
+        mono = HistogramMetric()
+        for v in values:
+            mono.observe(v)
+        cuts = sorted(rng.integers(1, values.size, 5))
+        merged = HistogramMetric()
+        for a, b in zip([0, *cuts], [*cuts, values.size]):
+            part = HistogramMetric()
+            for v in values[a:b]:
+                part.observe(v)
+            merged.merge(part)
+        assert merged._buckets == mono._buckets
+        assert merged.count == mono.count
+        assert merged.sum == mono.sum
+        assert merged.min == mono.min and merged.max == mono.max
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == mono.quantile(q)
+
+
+class TestTsdbChunking:
+    @pytest.mark.parametrize("seed", [0, 6])
+    def test_chunk_base_realignment_reproduces_monolithic(self, seed):
+        rng = np.random.default_rng(seed)
+        stamps = np.cumsum(rng.integers(1, 50, size=300)).astype(float)
+        names = ("gauge.a", "gauge.b")
+        mono = TimeSeriesStore()
+        for ts in stamps:
+            for name in names:
+                mono.append(ts, name, float(int(ts) % 97))
+        cuts = sorted(rng.integers(1, stamps.size, 4))
+        merged = TimeSeriesStore()
+        for a, b in zip([0, *cuts], [*cuts, stamps.size]):
+            chunk = TimeSeriesStore()
+            base = stamps[a - 1] if a else 0.0
+            for ts in stamps[a:b]:
+                for name in names:
+                    # Chunk-local clock: relative to the chunk base.
+                    chunk.append(ts - base, name, float(int(ts) % 97))
+            merged.merge(chunk, base_ns=base)
+        assert merged.as_dict() == mono.as_dict()
+
+
+def make_runtime():
+    cfg = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=32 * u.MB,
+                     slab_bytes=1 * u.MB)
+    return KonaRuntime(cfg, app_ns_per_access=50.0)
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("causal") / "hot.trace")
+    generate_hot_mix_stream(path, 40_000, hot_lines=4096,
+                            region_bytes=16 * units.MB, seed=23,
+                            chunk_size=1 << 13)
+    return path
+
+
+class TestRealRuntimeChunking:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_any_chunking_matches_monolithic_run(self, seed, trace_dir):
+        from repro.workloads.trace import open_columnar
+        columnar = open_columnar(trace_dir)
+        addrs = columnar.addrs[:].astype(np.int64)
+        writes = np.asarray(columnar.writes)
+
+        rt = make_runtime()
+        region = rt.mmap(columnar.memory_bytes)
+        cap = rt.attach_causal_capture()
+        rt.run_trace(addrs + np.int64(region.start), writes)
+        mono = cap.log.aggregate()
+
+        rng = np.random.default_rng(seed)
+        cuts = np.unique(rng.integers(1, addrs.size // 256, 5)) * 256
+        bounds = [0, *cuts.tolist(), addrs.size]
+        rt2 = make_runtime()
+        region2 = rt2.mmap(columnar.memory_bytes)
+        cap2 = rt2.attach_causal_capture()
+        chunks = ((addrs[a:b], writes[a:b])
+                  for a, b in zip(bounds, bounds[1:]))
+        rt2.run_trace_stream(chunks, base=region2.start)
+        assert cap2.log.aggregate() == mono
+
+
+class TestShardedCapture:
+    def test_sharded_fault_logs_merge_to_the_sum_of_parts(self,
+                                                          trace_dir):
+        from repro.experiments.shard import make_shards, run_sharded
+        specs = [replace(spec, capture=True)
+                 for spec in make_shards(trace_dir, 3, chunk_size=1 << 13,
+                                         fmem_mb=4, vfmem_mb=32)]
+        result = run_sharded(specs, processes=1)
+        logs = [o.fault_log for o in result.outcomes]
+        assert all(log is not None for log in logs)
+        merged = result.fault_log()
+        assert merged.n == sum(log.n for log in logs)
+        assert merged.n == result.totals["cache_misses"]
+        # Exact algebra: element-wise sums of every spectrum.
+        for hop in ("dir", "fab", "mem", "repl", "total"):
+            expect = {}
+            for log in logs:
+                for v, c in log.spectra[hop].items():
+                    expect[v] = expect.get(v, 0) + c
+            assert merged.spectra[hop] == expect
+
+    def test_sharded_capture_leaves_counters_untouched(self, trace_dir):
+        from repro.experiments.shard import make_shards, run_sharded
+        plain = run_sharded(make_shards(trace_dir, 2, chunk_size=1 << 13,
+                                        fmem_mb=4, vfmem_mb=32),
+                            processes=1)
+        specs = [replace(spec, capture=True)
+                 for spec in make_shards(trace_dir, 2, chunk_size=1 << 13,
+                                         fmem_mb=4, vfmem_mb=32)]
+        captured = run_sharded(specs, processes=1)
+        assert captured.totals.as_dict() == plain.totals.as_dict()
+        assert captured.elapsed_ns == plain.elapsed_ns
