@@ -22,6 +22,7 @@ Usage::
     python -m repro trace-convert --input SRC --out DST
                                   [--to columnar|npz]
     python -m repro trace-replay --input DIR [--chunk N] [--shards N]
+                                 [--engine batched|coalesced|scalar]
                                  [--processes N] [--rss-ceiling-mb MB]
     python -m repro faults [--seed 0] [--ops 20000] [--top 10]
                            [--json FILE] [--trace-out FILE]
@@ -396,6 +397,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> None:
         "accesses": columnar.length,
         "chunk": chunk,
         "shards": args.shards,
+        "engine": args.engine,
     }
     import time as _time
     t0 = _time.perf_counter()
@@ -408,6 +410,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> None:
         rt = KonaRuntime(cfg)
         region = rt.mmap(columnar.memory_bytes)
         report = rt.run_trace_stream(columnar.iter_chunks(chunk),
+                                     engine=args.engine,
                                      base=region.start)
         summary.update({
             "elapsed_model_ns": report.elapsed_ns,
@@ -420,6 +423,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> None:
         from .experiments.shard import make_shards, run_sharded
         result = run_sharded(
             make_shards(args.input, args.shards, chunk_size=chunk,
+                        engine=args.engine,
                         fmem_mb=args.fmem_mb, vfmem_mb=args.vfmem_mb),
             processes=args.processes)
         summary.update({
@@ -888,6 +892,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace-replay: VFMem capacity (MB)")
     parser.add_argument("--shards", type=int, default=1,
                         help="trace-replay: page-modulo address shards")
+    parser.add_argument("--engine", choices=["batched", "coalesced",
+                                             "scalar"],
+                        default="batched",
+                        help="trace-replay: replay engine (coalesced = "
+                             "batched front cache with one directory "
+                             "transaction per page run on the miss path)")
     parser.add_argument("--rss-ceiling-mb", type=float, default=None,
                         help="trace-replay: fail if peak RSS exceeds "
                              "this many MB (streaming memory guard)")

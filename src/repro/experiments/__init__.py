@@ -9,6 +9,7 @@ and EXPERIMENTS.md come from exactly this code.
 
 from .bench import (
     BenchCase,
+    RUNTIME_CASE_FLOORS,
     append_history,
     check_speedup,
     load_history,
@@ -62,6 +63,7 @@ __all__ = [
     "HeadlineResult",
     "KONA_SLOS",
     "MAX_CAPTURE_OVERHEAD",
+    "RUNTIME_CASE_FLOORS",
     "SweepPoint",
     "SweepResult",
     "Table2Result",

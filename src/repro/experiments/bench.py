@@ -250,11 +250,17 @@ RUNTIME_EXTRA_CASES = (
 
 #: Quick (CI) cases mirror the full suite's workload mix at small trace
 #: lengths so the perf gate's history records cover every committed
-#: baseline case except the 4M scale point.
+#: baseline case except the 4M scale point.  The ``page-rank-miss``
+#: entry is the miss-heavy canonical case at full size (150k accesses,
+#: seed 7, 8 MB FMem): ~99.6% of its accesses miss the front cache, so
+#: it exercises the coalesced miss-replay engine end to end and pins
+#: its speedup over the scalar oracle in every CI run.
 RUNTIME_QUICK_CASES = (
     RuntimeBenchCase("hot-mix", 150_000),
     RuntimeBenchCase("page-rank", 60_000, fmem_mb=8),
     RuntimeBenchCase("voltdb-tpcc", 60_000, fmem_mb=8),
+    RuntimeBenchCase("page-rank", 150_000, fmem_mb=8,
+                     label="page-rank-miss"),
 )
 
 #: The streaming scale point: accesses replayed from a memory-mapped
@@ -587,25 +593,50 @@ def load_history(path: str = HISTORY_FILENAME,
     return records
 
 
+#: Per-case speedup floors for the miss-heavy workload-model cases.
+#: These ride the coalesced miss-replay path, which must beat the
+#: scalar oracle outright — not merely avoid losing to it — so their
+#: floors sit above the generic ``min_case_speedup`` of 1.0x.  The
+#: values are deliberately well under the measured speedups (~2x on
+#: the reference host) to absorb CI-runner noise while still catching
+#: a real coalescing regression, which shows up as a collapse toward
+#: parity with the scalar engine.
+RUNTIME_CASE_FLOORS: Dict[str, float] = {
+    "page-rank": 1.3,
+    "voltdb-tpcc": 1.3,
+    "page-rank-miss": 1.3,
+}
+
+
 def check_speedup(payload: Dict[str, object], min_speedup: float,
-                  min_case_speedup: float = 1.0) -> List[str]:
+                  min_case_speedup: float = 1.0,
+                  case_floors: Optional[Dict[str, float]] = None,
+                  ) -> List[str]:
     """Regression gate: canonical speedup must reach ``min_speedup``,
     and *every* committed case must reach ``min_case_speedup`` — the
     batched engine being slower than the oracle anywhere is a
     regression no canonical-case win excuses.
 
+    ``case_floors`` maps case labels to per-case floors that override
+    ``min_case_speedup`` (it defaults to :data:`RUNTIME_CASE_FLOORS`,
+    which raises the bar for the miss-heavy coalesced-replay cases).
+
     Returns a list of failure messages (empty when the gate passes).
     """
+    if case_floors is None:
+        case_floors = RUNTIME_CASE_FLOORS
     failures = []
     got = payload["canonical_speedup"]
     if got < min_speedup:
         failures.append(
             f"canonical speedup {got:.2f}x below required {min_speedup}x")
     for case in payload.get("cases", ()):
-        if case["speedup"] < min_case_speedup:
+        floor = max(min_case_speedup,
+                    case_floors.get(case["workload"], min_case_speedup))
+        if case["speedup"] < floor:
             failures.append(
                 f"{case['workload']} speedup {case['speedup']:.2f}x below "
-                f"required {min_case_speedup}x")
+                f"required {floor}x")
         if not case.get("counters_match", False):
             failures.append(f"{case['workload']} counters diverged "
                             f"between engines")

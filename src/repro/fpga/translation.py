@@ -21,7 +21,7 @@ from ..common.errors import ConfigError, TranslationError
 from ..cluster.slab import Slab
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteLocation:
     """Where a VFMem byte lives in the rack."""
 

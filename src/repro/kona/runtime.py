@@ -505,7 +505,11 @@ class KonaRuntime:
         ``engine="batched"`` (default) bulk-resolves pure CPU-cache
         hits through the vectorized front-end and replays everything
         else through the scalar back-end (see :mod:`repro.kona.engine`);
-        ``engine="scalar"`` is the one-access-at-a-time oracle.  Both
+        ``engine="coalesced"`` additionally grants replayed misses
+        through one directory transaction per page run (the batched
+        engine already does this when ``KonaConfig.coalesced_replay``
+        is set — the explicit name forces it on);
+        ``engine="scalar"`` is the one-access-at-a-time oracle.  All
         produce bit-identical reports, counters and component state.
 
         ``base`` adds a constant offset to every address as it is
@@ -515,17 +519,20 @@ class KonaRuntime:
         """
         if addrs.shape != writes.shape:
             raise ConfigError("addrs and writes must have identical shape")
-        if engine == "batched" and self.content is not None:
+        if engine in ("batched", "coalesced") and self.content is not None:
             # The data plane versions writes per access; the batched
             # front-end bulk-resolves hits and would skip them.
             engine = "scalar"
         if engine == "batched":
             stall = run_trace_batched(self, addrs, writes, base=base)
+        elif engine == "coalesced":
+            stall = run_trace_batched(self, addrs, writes, base=base,
+                                      coalesced=True)
         elif engine == "scalar":
             stall = self._run_trace_scalar(addrs, writes, base=base)
         else:
             raise ConfigError(f"unknown run_trace engine {engine!r}; "
-                              "choose 'batched' or 'scalar'")
+                              "choose 'batched', 'coalesced' or 'scalar'")
         app = self.app_ns_per_access * addrs.size
         self.account.charge("app_compute", app)
         return ExecutionReport(
@@ -554,10 +561,10 @@ class KonaRuntime:
         threads through all chunks (see the ordering contract in
         ``docs/architecture.md``).
         """
-        if engine not in ("batched", "scalar"):
+        if engine not in ("batched", "coalesced", "scalar"):
             raise ConfigError(f"unknown run_trace engine {engine!r}; "
-                              "choose 'batched' or 'scalar'")
-        if engine == "batched" and self.content is not None:
+                              "choose 'batched', 'coalesced' or 'scalar'")
+        if engine in ("batched", "coalesced") and self.content is not None:
             engine = "scalar"
         stall = 0.0
         total = 0
@@ -579,6 +586,9 @@ class KonaRuntime:
             if engine == "batched":
                 stall = run_trace_batched(self, addrs, writes, base=base,
                                           stall=stall)
+            elif engine == "coalesced":
+                stall = run_trace_batched(self, addrs, writes, base=base,
+                                          stall=stall, coalesced=True)
             else:
                 stall = self._run_trace_scalar(addrs, writes, stall,
                                                base=base)

@@ -26,7 +26,7 @@ from ..common.stats import Counter
 RECORD_BYTES = 8 + units.CACHE_LINE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     """One dirty cache line in flight.
 

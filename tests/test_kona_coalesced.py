@@ -1,0 +1,382 @@
+"""Differential tests: coalesced miss replay vs the per-event oracle.
+
+The coalesced engine groups a replay segment's misses by page (stable
+argsort over ``(page, seq)``) and grants each page run through one
+directory transaction (``Directory.acquire_page_runs``) instead of one
+transaction per event.  Its acceptance bar is *bit-identity* with the
+per-event replay (``KonaConfig(coalesced_replay=False)``) and the
+scalar oracle: identical fingerprints, ``elapsed_ns``, counters at
+every layer, and merged causal ``FaultLog`` aggregates — across random
+miss-heavy traces, coherence protocols, a chaos campaign, capture
+on/off, and monolithic vs streamed vs sharded replay.
+"""
+
+import numpy as np
+import pytest
+
+import repro.common.units as u
+from repro.common.errors import CoherenceError, ConfigError
+from repro.coherence.directory import Directory
+from repro.coherence.states import LineState, Protocol
+from repro.experiments.bench import (RUNTIME_QUICK_CASES,
+                                     check_speedup, runtime_fingerprint)
+from repro.kona.config import KonaConfig
+from repro.kona.runtime import KonaRuntime
+from repro.mem.address import AddressRange
+from repro.workloads import WORKLOADS
+
+N = 6_000
+REGION = 32 * u.MB
+
+#: (config coalesced_replay, run_trace engine) per logical engine; the
+#: per-event oracle is the batched engine with page-run grants off.
+ENGINES = {
+    "scalar": (True, "scalar"),
+    "per-event": (False, "batched"),
+    "coalesced": (True, "batched"),
+}
+
+
+def build_runtime(coalesced=True, **overrides):
+    defaults = dict(fmem_capacity=4 * u.MB, vfmem_capacity=256 * u.MB,
+                    slab_bytes=16 * u.MB, coalesced_replay=coalesced)
+    defaults.update(overrides)
+    return KonaRuntime(KonaConfig(**defaults), app_ns_per_access=70.0)
+
+
+def miss_heavy_trace(n, seed, region_bytes=REGION, hot_lines=512,
+                     cold=0.65, write_frac=0.4):
+    """Mostly cold lines: the segments classify miss-heavy, so replay
+    goes through the coalesced page-run path rather than hit patching.
+    """
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, hot_lines, size=n, dtype=np.int64)
+    mask = rng.random(n) < cold
+    lines[mask] = rng.integers(hot_lines, region_bytes // u.CACHE_LINE,
+                               size=int(mask.sum()), dtype=np.int64)
+    return lines * u.CACHE_LINE, rng.random(n) < write_frac
+
+
+def run_one(engine, make_trace, capture=False, **overrides):
+    coalesced, engine_arg = ENGINES[engine]
+    rt = build_runtime(coalesced=coalesced, **overrides)
+    cap = rt.attach_causal_capture() if capture else None
+    region = rt.mmap(REGION)
+    addrs, writes = make_trace()
+    report = rt.run_trace(addrs + np.int64(region.start), writes,
+                          engine=engine_arg)
+    fp = runtime_fingerprint(rt, report)
+    agg = cap.log.aggregate() if capture else None
+    return fp, agg
+
+
+def assert_all_identical(make_trace, capture=False, **overrides):
+    got = {name: run_one(name, make_trace, capture=capture, **overrides)
+           for name in ENGINES}
+    assert got["coalesced"] == got["per-event"] == got["scalar"]
+
+
+class TestMissHeavyRandom:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_traces_identical(self, seed):
+        assert_all_identical(lambda: miss_heavy_trace(N, seed))
+
+    @pytest.mark.parametrize("protocol", ["msi", "mesi", "moesi"])
+    def test_protocols_identical(self, protocol):
+        assert_all_identical(lambda: miss_heavy_trace(N, 11),
+                             protocol=protocol)
+
+    @pytest.mark.parametrize("protocol", ["msi", "mesi", "moesi"])
+    def test_capture_on_identical(self, protocol):
+        # Causal capture rows are deferred and block-recorded on the
+        # coalesced path; aggregates must still match row for row.
+        assert_all_identical(lambda: miss_heavy_trace(N, 13),
+                             capture=True, protocol=protocol)
+
+    @pytest.mark.parametrize("name", ["page-rank", "voltdb-tpcc"])
+    def test_workload_models_identical(self, name):
+        got = {}
+        for eng, (coalesced, engine_arg) in ENGINES.items():
+            rt = build_runtime(coalesced=coalesced, fmem_capacity=8 * u.MB)
+            model = WORKLOADS[name]()
+            trace = model.generate(windows=2, seed=7)
+            region = rt.mmap(model.memory_bytes)
+            m = min(N, len(trace))
+            report = rt.run_trace(trace.addrs[:m] + np.uint64(region.start),
+                                  trace.writes[:m], engine=engine_arg)
+            got[eng] = runtime_fingerprint(rt, report)
+        assert got["coalesced"] == got["per-event"] == got["scalar"]
+
+    def test_tiny_fmem_eviction_pressure(self):
+        # FMem far below the footprint: page drains snoop resident
+        # lines between the coalesced segment commits.
+        assert_all_identical(lambda: miss_heavy_trace(10_000, 17),
+                             fmem_capacity=1 * u.MB)
+
+    def test_explicit_engine_forces_coalescing_on(self):
+        # engine="coalesced" overrides coalesced_replay=False and must
+        # still be bit-identical to what the config flag produces.
+        out = {}
+        for coalesced, engine_arg in ((False, "coalesced"),
+                                      (True, "batched")):
+            rt = build_runtime(coalesced=coalesced)
+            region = rt.mmap(REGION)
+            addrs, writes = miss_heavy_trace(N, 19)
+            report = rt.run_trace(addrs + np.int64(region.start), writes,
+                                  engine=engine_arg)
+            out[engine_arg] = runtime_fingerprint(rt, report)
+        assert out["coalesced"] == out["batched"]
+
+
+class TestChaosCampaign:
+    """Fail a replica mid-run, recover, compare all three engines."""
+
+    @staticmethod
+    def _chaos_runtime(coalesced):
+        cfg = KonaConfig(fmem_capacity=4 * u.MB,
+                         vfmem_capacity=64 * u.MB,
+                         slab_bytes=16 * u.MB,
+                         replication_factor=2,
+                         retry_seed=0,
+                         coalesced_replay=coalesced)
+        rt = KonaRuntime(cfg, num_memory_nodes=2, app_ns_per_access=70.0)
+        rt.failures.coherence_timeout_ns = 10_000.0
+        return rt
+
+    @pytest.mark.parametrize("capture", [False, True])
+    def test_node_failure_between_spans(self, capture):
+        out = {}
+        for eng, (coalesced, engine_arg) in ENGINES.items():
+            rt = self._chaos_runtime(coalesced)
+            cap = rt.attach_causal_capture() if capture else None
+            region = rt.mmap(16 * u.MB)
+            addrs, writes = miss_heavy_trace(9_000, 23,
+                                             region_bytes=16 * u.MB)
+            addrs = addrs + np.int64(region.start)
+            spans = np.array_split(np.arange(addrs.size), 3)
+            rt.run_trace(addrs[spans[0]], writes[spans[0]],
+                         engine=engine_arg)
+            rt.fabric.fail_node("mem0")
+            rt.run_trace(addrs[spans[1]], writes[spans[1]],
+                         engine=engine_arg)
+            rt.fabric.recover_node("mem0")
+            rt.recover()
+            report = rt.run_trace(addrs[spans[2]], writes[spans[2]],
+                                  engine=engine_arg)
+            out[eng] = (runtime_fingerprint(rt, report),
+                        cap.log.aggregate() if capture else None)
+        assert out["coalesced"] == out["per-event"] == out["scalar"]
+
+
+class TestStreamedAndSharded:
+    def test_streamed_chunks_identical_to_monolithic(self):
+        addrs0, writes = miss_heavy_trace(12_000, 29)
+        mono = {}
+        for eng, (coalesced, engine_arg) in ENGINES.items():
+            rt = build_runtime(coalesced=coalesced)
+            cap = rt.attach_causal_capture()
+            region = rt.mmap(REGION)
+            report = rt.run_trace(addrs0 + np.int64(region.start), writes,
+                                  engine=engine_arg)
+            mono[eng] = (runtime_fingerprint(rt, report),
+                         cap.log.aggregate())
+        assert mono["coalesced"] == mono["per-event"] == mono["scalar"]
+
+        # Random cadence-aligned cuts, streamed through each engine.
+        rng = np.random.default_rng(31)
+        cuts = np.unique(rng.integers(1, addrs0.size // 256, 4)) * 256
+        bounds = [0, *cuts.tolist(), addrs0.size]
+        for eng, (coalesced, engine_arg) in ENGINES.items():
+            rt = build_runtime(coalesced=coalesced)
+            cap = rt.attach_causal_capture()
+            region = rt.mmap(REGION)
+            base = np.int64(region.start)
+            chunks = ((addrs0[a:b] + base, writes[a:b])
+                      for a, b in zip(bounds, bounds[1:]))
+            report = rt.run_trace_stream(chunks, engine=engine_arg)
+            streamed = (runtime_fingerprint(rt, report),
+                        cap.log.aggregate())
+            assert streamed == mono[eng], eng
+
+    def test_sharded_coalesced_matches_sharded_scalar(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments.shard import make_shards, run_sharded
+        from repro.workloads.trace import TRACE_DTYPE, Trace, save_columnar
+
+        addrs, writes = miss_heavy_trace(12_000, 37)
+        data = np.zeros(addrs.size, dtype=TRACE_DTYPE)
+        data["addr"] = addrs.astype(np.uint64)
+        data["size"] = u.CACHE_LINE
+        data["write"] = writes
+        trace_dir = str(tmp_path / "miss.trace")
+        save_columnar(Trace(data=data, memory_bytes=REGION), trace_dir)
+        out = {}
+        for engine in ("scalar", "coalesced"):
+            specs = [replace(spec, capture=True)
+                     for spec in make_shards(trace_dir, 2, engine=engine,
+                                             chunk_size=1 << 12,
+                                             fmem_mb=4, vfmem_mb=64)]
+            result = run_sharded(specs, processes=1)
+            out[engine] = (result.totals.as_dict(), result.elapsed_ns,
+                           result.fault_log().aggregate())
+        assert out["coalesced"] == out["scalar"]
+
+
+HOME = AddressRange(0, 1 * u.MB)
+
+
+class TestDirectoryPageRun:
+    """Unit contract of the bulk grant APIs against get_s/get_m."""
+
+    @staticmethod
+    def _twin_run(protocol, lines, writes, agent_id=1, seed_fn=None):
+        """Apply the same run via page-run and per-event APIs."""
+        bulk = Directory(HOME, protocol)
+        oracle = Directory(HOME, protocol)
+        inv_bulk, inv_oracle = [], []
+        bulk.register_agent(9, lambda a: (inv_bulk.append(a), False)[1])
+        oracle.register_agent(9, lambda a: (inv_oracle.append(a), False)[1])
+        if seed_fn is not None:
+            seed_fn(bulk)
+            seed_fn(oracle)
+        nw = sum(writes)
+        grants, inval = bulk.acquire_page_run(
+            0, len(lines) - nw, nw, bool(writes[0]), agent_id,
+            lines, writes)
+        expect = []
+        for line, w in zip(lines, writes):
+            if w:
+                oracle.get_modified(line, agent_id)
+                expect.append(LineState.MODIFIED)
+            else:
+                expect.append(oracle.get_shared(line, agent_id))
+        return bulk, oracle, grants, expect, inval, inv_bulk, inv_oracle
+
+    @pytest.mark.parametrize("protocol",
+                             [Protocol.MSI, Protocol.MESI, Protocol.MOESI])
+    def test_grants_match_per_event_sequence(self, protocol):
+        lines = [0, 64, 128, 192, 256]
+        writes = [False, True, False, False, True]
+        bulk, oracle, grants, expect, _, _, _ = self._twin_run(
+            protocol, lines, writes)
+        assert grants == expect
+        for line in lines:
+            assert bulk.state_of(line) is oracle.state_of(line)
+        assert bulk.counters.as_dict() == oracle.counters.as_dict()
+
+    @pytest.mark.parametrize("protocol",
+                             [Protocol.MSI, Protocol.MESI, Protocol.MOESI])
+    def test_residue_invalidates_like_per_event(self, protocol):
+        # Another agent owns a line: the generic path must snoop it
+        # exactly as get_modified would.
+        def seed(d):
+            d.get_modified(64, 9)
+        lines, writes = [0, 64, 128], [True, True, False]
+        bulk, oracle, grants, expect, inval, inv_b, inv_o = self._twin_run(
+            protocol, lines, writes, seed_fn=seed)
+        assert grants == expect
+        assert inv_b == inv_o == [64]
+        assert inval == 1
+        for line in lines:
+            assert bulk.state_of(line) is oracle.state_of(line)
+        assert bulk.counters.as_dict() == oracle.counters.as_dict()
+
+    def test_page_runs_batch_equals_single_runs(self):
+        d1 = Directory(AddressRange(0, 1 * u.MB), Protocol.MESI)
+        d2 = Directory(AddressRange(0, 1 * u.MB), Protocol.MESI)
+        # Two pages' runs, (page, seq)-sorted, mixed intent.
+        lines = [0, 64, 128, u.PAGE_4K, u.PAGE_4K + 192]
+        writes = [False, True, False, True, False]
+        inval = d1.acquire_page_runs(lines, writes, agent_id=1)
+        g0, i0 = d2.acquire_page_run(0, 2, 1, False, 1,
+                                     lines[:3], writes[:3])
+        g1, i1 = d2.acquire_page_run(u.PAGE_4K, 1, 1, True, 1,
+                                     lines[3:], writes[3:])
+        assert inval == i0 + i1 == 0
+        for line in lines:
+            assert d1.state_of(line) is d2.state_of(line)
+        assert d1.counters.as_dict() == d2.counters.as_dict()
+
+    def test_header_validation(self):
+        d = Directory(HOME, Protocol.MESI)
+        with pytest.raises(CoherenceError):   # counts disagree
+            d.acquire_page_run(0, 2, 0, False, 1, [0, 64], [False, True])
+        with pytest.raises(CoherenceError):   # first_is_write disagrees
+            d.acquire_page_run(0, 1, 1, True, 1, [0, 64], [False, True])
+        with pytest.raises(CoherenceError):   # line outside the page
+            d.acquire_page_run(0, 2, 0, False, 1, [0, u.PAGE_4K],
+                               [False, False])
+        with pytest.raises(CoherenceError):   # misaligned line
+            d.acquire_page_run(0, 2, 0, False, 1, [0, 65], [False, False])
+        with pytest.raises(CoherenceError):   # ragged lines/writes
+            d.acquire_page_run(0, 1, 0, False, 1, [0, 64], [False])
+        assert d.acquire_page_run(0, 0, 0, False, 1, [], []) == ([], 0)
+
+
+class TestConfigKnobs:
+    def test_defaults(self):
+        cfg = KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                         slab_bytes=16 * u.MB)
+        assert cfg.miss_replay_density == 0.5
+        assert cfg.batch_escape_density == 0.5
+        assert cfg.batch_reenter_hits == 0.875
+        assert cfg.coalesced_replay is True
+
+    @pytest.mark.parametrize("field,value", [
+        ("miss_replay_density", 0.0),
+        ("miss_replay_density", 1.5),
+        ("batch_escape_density", -0.1),
+        ("batch_escape_density", 2.0),
+        ("batch_reenter_hits", -0.5),
+        ("batch_reenter_hits", 1.01),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            KonaConfig(fmem_capacity=4 * u.MB, vfmem_capacity=64 * u.MB,
+                       slab_bytes=16 * u.MB, **{field: value})
+
+    def test_hysteresis_knobs_are_honored(self):
+        # Degenerate thresholds flip the adaptive engine's mode
+        # choices, but bit-identity with the oracle must hold at any
+        # legal setting — the knobs steer speed, never results.
+        for density in (0.01, 1.0):
+            assert_all_identical(lambda: miss_heavy_trace(4_000, 41),
+                                 miss_replay_density=density,
+                                 batch_escape_density=density,
+                                 batch_reenter_hits=0.0)
+
+
+class TestPerfGateFloors:
+    def test_quick_suite_has_miss_heavy_canonical_case(self):
+        labels = {case.case_label: case for case in RUNTIME_QUICK_CASES}
+        case = labels["page-rank-miss"]
+        assert case.workload == "page-rank"
+        assert case.num_accesses == 150_000
+        assert case.seed == 7
+        assert case.fmem_mb == 8
+
+    def test_miss_heavy_cases_gate_above_parity(self):
+        payload = {
+            "canonical_speedup": 9.0,
+            "cases": [
+                {"workload": "hot-mix", "speedup": 9.0,
+                 "counters_match": True},
+                {"workload": "page-rank-miss", "speedup": 1.1,
+                 "counters_match": True},
+            ],
+        }
+        failures = check_speedup(payload, 1.0)
+        assert len(failures) == 1
+        assert "page-rank-miss" in failures[0] and "1.3x" in failures[0]
+        # An explicit floor map overrides the default miss-heavy bars.
+        assert check_speedup(payload, 1.0, case_floors={}) == []
+
+    def test_generic_floor_still_applies(self):
+        payload = {
+            "canonical_speedup": 9.0,
+            "cases": [{"workload": "hot-mix", "speedup": 0.9,
+                       "counters_match": True}],
+        }
+        failures = check_speedup(payload, 1.0)
+        assert len(failures) == 1 and "hot-mix" in failures[0]
