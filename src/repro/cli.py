@@ -10,7 +10,12 @@ Usage::
     python -m repro sections
     python -m repro chaos [--seed 0] [--ops 30000]
                           [--campaign node-failure|memnode-failover]
-                          [--trace-out FILE]
+                          [--trace-out FILE] [--fleet-out FILE]
+                          [--tenant NAME]
+    python -m repro dashboard [--from-artifact FLEET.json] [--html FILE]
+                              [--fleet-out FILE] [--trace-out FILE]
+                              [--tenant NAME] [--seed 0] [--ops 40000]
+                              [--check-overhead [--quick] [--output FILE]]
     python -m repro sweep [--processes N] [--ops 40000]
     python -m repro bench [--suite kcachesim|runtime] [--quick]
                           [--min-speedup 1.0] [--output FILE]
@@ -24,6 +29,7 @@ Usage::
     python -m repro trace-replay --input DIR [--chunk N] [--shards N]
                                  [--engine batched|coalesced|scalar]
                                  [--processes N] [--rss-ceiling-mb MB]
+                                 [--fleet-out FILE] [--tenant NAME]
     python -m repro faults [--seed 0] [--ops 20000] [--top 10]
                            [--json FILE] [--trace-out FILE]
                            [--check-overhead [--quick] [--output FILE]]
@@ -243,8 +249,12 @@ def cmd_chaos(args: argparse.Namespace) -> None:
 
 def _chaos_failover(args: argparse.Namespace) -> None:
     """The replicated memnode-failover durability campaign."""
+    fleet_out = getattr(args, "fleet_out", None)
     failover = run_failover(seed=args.seed, ops=args.ops,
-                            tracing=args.trace_out is not None)
+                            tracing=args.trace_out is not None,
+                            capture=fleet_out is not None,
+                            fleet=fleet_out is not None,
+                            tenant=getattr(args, "tenant", None))
     result = failover.result
     print(render_table(
         ["t (us)", "event"],
@@ -260,6 +270,10 @@ def _chaos_failover(args: argparse.Namespace) -> None:
     if args.trace_out:
         path = failover.recorder.write_chrome_trace(args.trace_out)
         print(f"\nchrome trace: {path}")
+    if fleet_out:
+        print(f"\nfleet artifact: {failover.fleet.save(fleet_out)} "
+              f"({len(failover.fleet.members)} components) — render with "
+              f"`python -m repro dashboard --from-artifact {fleet_out}`")
     verdict = ("held — final image bit-identical to the no-fault oracle"
                if failover.passed else "VIOLATED")
     print(f"\nDurability invariants and SLOs {verdict}.")
@@ -399,6 +413,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> None:
         "shards": args.shards,
         "engine": args.engine,
     }
+    fleet_out = getattr(args, "fleet_out", None)
     import time as _time
     t0 = _time.perf_counter()
     if args.shards <= 1:
@@ -419,13 +434,25 @@ def cmd_trace_replay(args: argparse.Namespace) -> None:
             "remote_fetches": rt.agent.counters["remote_fetches"],
             "pages_evicted": rt.eviction.stats.pages_evicted,
         })
+        if fleet_out:
+            from .obs.fleet import FleetRecorder
+            fleet = FleetRecorder(name="trace-replay")
+            for member in rt.fleet_members(
+                    tenant=getattr(args, "tenant", None)):
+                fleet.add(member)
+            summary["fleet_artifact"] = fleet.save(fleet_out)
     else:
         from .experiments.shard import make_shards, run_sharded
         result = run_sharded(
             make_shards(args.input, args.shards, chunk_size=chunk,
                         engine=args.engine,
-                        fmem_mb=args.fmem_mb, vfmem_mb=args.vfmem_mb),
+                        fmem_mb=args.fmem_mb, vfmem_mb=args.vfmem_mb,
+                        fleet=fleet_out is not None,
+                        tenant=getattr(args, "tenant", None)),
             processes=args.processes)
+        if fleet_out:
+            summary["fleet_artifact"] = \
+                result.fleet(name="trace-replay").save(fleet_out)
         summary.update({
             "elapsed_model_ns": result.elapsed_ns,
             "cache_hits": result.totals["cache_hits"],
@@ -739,6 +766,69 @@ def cmd_slo(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _dashboard_overhead(args: argparse.Namespace) -> None:
+    """The ``repro dashboard --check-overhead`` gate half."""
+    from .experiments.bench import RUNTIME_CANONICAL_CASE, RuntimeBenchCase
+    from .experiments.fleet import (OBS_BENCH_FILENAME, check_fleet_overhead,
+                                    run_obs_bench, write_obs_bench)
+    case = (RuntimeBenchCase("hot-mix", 300_000) if args.quick
+            else RUNTIME_CANONICAL_CASE)
+    payload = run_obs_bench(case, runs=3)
+    result = payload["case"]
+    print(f"{result['workload']:>12s}  {result['num_accesses']:>9,} accesses  "
+          f"fleet-off {result['off_seconds']:.3f}s  "
+          f"fleet-on {result['on_seconds']:.3f}s  "
+          f"overhead {result['overhead']:.3f}x  "
+          f"({result['fleet_components']} components, "
+          f"{result['fault_records']:,} fault records, fingerprint "
+          f"{'ok' if result['fingerprint_matches'] else 'MISMATCH'})")
+    path = write_obs_bench(payload, args.output or OBS_BENCH_FILENAME)
+    print(f"report: {path}")
+    failures = check_fleet_overhead(payload)
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        raise SystemExit(1)
+    print(f"fleet observability overhead gate passed "
+          f"(<= {result['max_overhead']:.2f}x, bit-identical state)")
+
+
+def cmd_dashboard(args: argparse.Namespace) -> None:
+    """Cluster dashboard: fleet artifact -> terminal summary + HTML."""
+    if args.check_overhead:
+        _dashboard_overhead(args)
+        return
+    from .obs.dashboard import dashboard_text, write_dashboard
+    from .obs.fleet import FleetRecorder
+    if args.from_artifact:
+        fleet = FleetRecorder.load(args.from_artifact)
+    else:
+        print(f"no --from-artifact: capturing a memnode-failover campaign "
+              f"(seed {args.seed}, {args.ops} ops) ...\n")
+        failover = run_failover(seed=args.seed, ops=args.ops,
+                                capture=True, fleet=True,
+                                tenant=args.tenant)
+        fleet = failover.fleet
+    print(dashboard_text(fleet))
+    if args.fleet_out:
+        print(f"\nfleet artifact: {fleet.save(args.fleet_out)}")
+    if args.html:
+        print(f"dashboard html: {write_dashboard(fleet, args.html)}")
+    if args.trace_out:
+        payload = fleet.chrome_trace()
+        errors = validate_chrome_trace(payload)
+        if errors:
+            for msg in errors[:10]:
+                print(f"INVALID: {msg}", file=sys.stderr)
+            raise SystemExit(1)
+        with open(args.trace_out, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        print(f"unified chrome trace: {args.trace_out} "
+              f"({len(payload['traceEvents'])} events) — one track per "
+              f"component, flow arrows across the fault chain")
+
+
 def cmd_summary(args: argparse.Namespace) -> None:
     """Headline claims: the abstract's numbers, measured."""
     result = run_headline(num_ops=args.ops)
@@ -768,6 +858,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "trace-replay": cmd_trace_replay,
     "trace": cmd_trace,
     "faults": cmd_faults,
+    "dashboard": cmd_dashboard,
     "profile": cmd_profile,
     "perfdiff": cmd_perfdiff,
     "slo": cmd_slo,
@@ -851,8 +942,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", default=None,
                         help="faults: write the attribution report JSON")
     parser.add_argument("--check-overhead", action="store_true",
-                        help="faults: run the capture-overhead gate "
-                             "instead of the attribution campaign")
+                        help="faults/dashboard: run the capture- or "
+                             "fleet-overhead gate instead of the campaign")
+    parser.add_argument("--from-artifact", default=None,
+                        help="dashboard: render a saved fleet artifact "
+                             "instead of running a campaign")
+    parser.add_argument("--html", default=None,
+                        help="dashboard: write the self-contained HTML "
+                             "report to this path")
+    parser.add_argument("--fleet-out", default=None,
+                        help="chaos/dashboard/trace-replay: save the fleet "
+                             "telemetry artifact (JSON) to this path")
+    parser.add_argument("--tenant", default=None,
+                        help="chaos/dashboard/trace-replay: tenant label "
+                             "on every captured component")
     parser.add_argument("--window-us", type=float, default=100.0,
                         help="profile: stall-attribution window (us)")
     parser.add_argument("--run-a", default=None,

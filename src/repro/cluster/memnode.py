@@ -83,6 +83,32 @@ class MemoryNode:
         """Whether the node is serving."""
         return not self._failed
 
+    # -- fleet telemetry ----------------------------------------------------------
+
+    def component_snapshot(self, component: str = None,
+                           tenant: str = None):
+        """This node's telemetry as a fleet component snapshot.
+
+        Memory nodes carry no flight recorder (their hot path is the
+        log receiver); the snapshot is built straight from the counter
+        bag plus the capacity/occupancy/liveness facts, under the
+        ``memnode:<name>`` identity so the fleet's merged registry and
+        Chrome trace pids line up with the causal fault chains that
+        name this node.
+        """
+        from ..obs.fleet import ComponentSnapshot
+        metrics = {f"memnode.{key}": value for key, value
+                   in sorted(self.counters.as_dict().items())}
+        kinds = {name: "counter" for name in metrics}
+        metrics["memnode.capacity_bytes"] = self.capacity
+        metrics["memnode.stored_lines"] = len(self.store)
+        metrics["memnode.free_slabs"] = self.pool.free_slabs
+        metrics["memnode.alive"] = int(self.alive)
+        return ComponentSnapshot(
+            component=component or f"memnode:{self.name}",
+            tenant=tenant, metrics=metrics, kinds=kinds,
+            meta={"node": self.name})
+
     # -- slab interface (used by the controller) ---------------------------------------
 
     def grant_slab(self) -> Slab:

@@ -138,6 +138,10 @@ class FailoverResult:
     #: Deliberately outside :meth:`fingerprint` — capture must never
     #: change campaign outcomes, and the tests pin that separately.
     fault_log: Optional[Any] = None
+    #: Fleet view of the fault run's whole topology (``fleet=True``
+    #: only): runtime, fabric and every memnode as components, ready
+    #: for ``FleetRecorder.save`` / ``repro dashboard``.
+    fleet: Optional[Any] = None
 
     @property
     def passed(self) -> bool:
@@ -189,7 +193,9 @@ def run_failover(seed: int = 0, ops: int = 20_000,
                  tracing: bool = False,
                  sample_interval_ns: float = SAMPLE_INTERVAL_NS,
                  max_events: int = 500_000,
-                 capture: bool = False) -> FailoverResult:
+                 capture: bool = False,
+                 fleet: bool = False,
+                 tenant: Optional[str] = None) -> FailoverResult:
     """Run the memnode-failover durability campaign end to end.
 
     Schedule: kill the victim at ``kill_fraction`` of the (oracle-
@@ -204,6 +210,13 @@ def run_failover(seed: int = 0, ops: int = 20_000,
     carry the dominant hop and tail exemplars, and the result's
     ``fault_log`` pins the outage-window tail to the fabric and
     replication hops.
+
+    ``fleet=True`` additionally snapshots the whole topology —
+    runtime, fabric, every memnode — into a
+    :class:`~repro.obs.fleet.FleetRecorder` on ``result.fleet``
+    (with SLO verdicts and, when capturing, the fault log attached),
+    the artifact ``repro dashboard`` renders.  ``tenant`` labels
+    every component for per-tenant attribution.
     """
     oracle, total_est = _oracle_image(seed, ops)
     recorder = FlightRecorder(tracing=tracing,
@@ -243,6 +256,14 @@ def run_failover(seed: int = 0, ops: int = 20_000,
         detail=(f"faulted={result.faulted_accesses} — replication must "
                 f"make the outage invisible to the application")))
     flat: Dict[str, Any] = result.telemetry.flat()
+    fleet_recorder = None
+    if fleet:
+        from ..obs.fleet import FleetRecorder
+        fleet_recorder = FleetRecorder(name="memnode-failover")
+        for member in runtime.fleet_members(component="runtime:failover",
+                                            tenant=tenant,
+                                            slo=slo_engine):
+            fleet_recorder.add(member)
     return FailoverResult(
         result=result,
         image_lines=len(image),
@@ -256,4 +277,5 @@ def run_failover(seed: int = 0, ops: int = 20_000,
         recorder=recorder,
         engine=slo_engine,
         fault_log=cap.log if cap is not None else None,
+        fleet=fleet_recorder,
     )

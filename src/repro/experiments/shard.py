@@ -58,6 +58,8 @@ class ShardSpec:
     vfmem_mb: int = 256
     app_ns: float = 70.0
     capture: bool = False         # per-shard causal fault capture
+    fleet: bool = False           # snapshot the shard's fleet members
+    tenant: Optional[str] = None  # tenant label on fleet snapshots
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -82,6 +84,10 @@ class ShardOutcome:
     remote_fetches: int
     pages_evicted: int
     fault_log: Optional[object] = None   # FaultLog when capture was on
+    #: ComponentSnapshots of the shard's topology when ``fleet`` was
+    #: on.  Component labels are shard-qualified (``runtime:shard3``,
+    #: ``memnode:shard3.mem0``...) so fleet membership stays unique.
+    snapshots: Optional[List[object]] = None
 
 
 @dataclass
@@ -121,6 +127,25 @@ class ShardedRunResult:
                                   seed=log.seed)
             merged.merge(log)
         return merged
+
+    def fleet(self, name: str = "sharded-run"):
+        """All shards' component snapshots as one FleetRecorder.
+
+        None unless the specs asked for ``fleet`` capture.  Shard
+        partitions are disjoint, so the fleet's :meth:`~repro.obs.
+        fleet.FleetRecorder.totals` over the runtime components equal
+        a monolithic run's counters exactly — the property the fleet
+        aggregation tests pin.
+        """
+        members = [snap for outcome in self.outcomes
+                   for snap in (outcome.snapshots or [])]
+        if not members:
+            return None
+        from ..obs.fleet import FleetRecorder
+        fleet = FleetRecorder(name=name)
+        for member in members:
+            fleet.add(member)
+        return fleet
 
 
 def shard_mask(addrs: np.ndarray, shard: int, num_shards: int,
@@ -196,23 +221,40 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     counters.add("shard_accesses", report.accesses)
     counters.add("remote_fetches", rt.agent.counters["remote_fetches"])
     counters.add("pages_evicted", rt.eviction.stats.pages_evicted)
+    snapshots = None
+    if spec.fleet:
+        # Shard-qualify every component label: each worker runs a full
+        # private topology, so ``memnode:mem0`` would collide across
+        # shards without the ``shardN.`` qualifier.
+        snapshots = [rt.fleet_snapshot(
+            component=f"runtime:shard{spec.shard}", tenant=spec.tenant)]
+        snapshots.append(rt.fabric.component_snapshot(
+            component=f"fabric:shard{spec.shard}", tenant=spec.tenant))
+        for name in rt.controller.nodes:
+            snapshots.append(rt.controller.node(name).component_snapshot(
+                component=f"memnode:shard{spec.shard}.{name}",
+                tenant=spec.tenant))
     return ShardOutcome(
         shard=spec.shard, accesses=report.accesses,
         elapsed_ns=report.elapsed_ns, counters=counters,
         remote_fetches=rt.agent.counters["remote_fetches"],
         pages_evicted=rt.eviction.stats.pages_evicted,
-        fault_log=cap.log if cap is not None else None)
+        fault_log=cap.log if cap is not None else None,
+        snapshots=snapshots)
 
 
 def make_shards(trace_path: str, num_shards: int,
                 engine: str = "batched", chunk_size: int = 1 << 20,
                 fmem_mb: int = 64, vfmem_mb: int = 256,
-                app_ns: float = 70.0) -> List[ShardSpec]:
+                app_ns: float = 70.0, capture: bool = False,
+                fleet: bool = False,
+                tenant: Optional[str] = None) -> List[ShardSpec]:
     """Build the spec list for every shard of a trace."""
     return [ShardSpec(trace_path=trace_path, shard=s,
                       num_shards=num_shards, engine=engine,
                       chunk_size=chunk_size, fmem_mb=fmem_mb,
-                      vfmem_mb=vfmem_mb, app_ns=app_ns)
+                      vfmem_mb=vfmem_mb, app_ns=app_ns,
+                      capture=capture, fleet=fleet, tenant=tenant)
             for s in range(num_shards)]
 
 

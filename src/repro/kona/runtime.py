@@ -411,6 +411,42 @@ class KonaRuntime:
             self.agent._capture = cap
         return self._capture
 
+    def fleet_snapshot(self, component: Optional[str] = None,
+                       tenant: Optional[str] = None, slo=None):
+        """This runtime's telemetry as a fleet component snapshot.
+
+        Freezes the flight recorder (metrics, histograms, sampled
+        series, tracer events) plus the health monitor's annotated
+        transitions and — when causal capture is attached — the
+        drained fault log, under the recorder's component identity
+        (override with ``component``/``tenant``).  ``slo`` is an
+        optional :class:`~repro.obs.slo.SLOEngine` whose verdicts ride
+        along.  Pure observation: nothing simulation-visible changes.
+        """
+        from ..obs.fleet import ComponentSnapshot
+        return ComponentSnapshot.from_recorder(
+            self.obs, component=component, tenant=tenant,
+            health=self.health, fault_log=self._capture, slo=slo)
+
+    def fleet_members(self, component: Optional[str] = None,
+                      tenant: Optional[str] = None, slo=None) -> list:
+        """Snapshots for this runtime *and* its rack: runtime, fabric,
+        every registered memory node.
+
+        The one-call way to capture a whole single-runtime topology
+        into a :class:`~repro.obs.fleet.FleetRecorder`; sharded
+        drivers instead collect per-shard members with distinct
+        component labels.
+        """
+        members = [self.fleet_snapshot(component=component,
+                                       tenant=tenant, slo=slo)]
+        members.append(self.fabric.component_snapshot(tenant=tenant))
+        for name in self.controller.nodes:
+            members.append(
+                self.controller.node(name).component_snapshot(
+                    tenant=tenant))
+        return members
+
     # -- allocation API ---------------------------------------------------------------
 
     def malloc(self, size: int) -> int:

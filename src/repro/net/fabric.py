@@ -111,6 +111,28 @@ class Fabric:
         #: Optional span tracer (attached by the runtime's recorder).
         self.tracer = None
 
+    # -- fleet telemetry -------------------------------------------------------
+
+    def component_snapshot(self, component: str = "fabric",
+                           tenant: str = None):
+        """The fabric's telemetry as a fleet component snapshot.
+
+        Identity defaults to ``fabric`` — the same label the fleet's
+        cross-component fault chains bill their ``fab`` hop to, so the
+        fabric's counters and its share of the causal arrows land on
+        one Chrome trace process.
+        """
+        from ..obs.fleet import ComponentSnapshot
+        metrics = {f"fabric.{key}": value for key, value
+                   in sorted(self.counters.as_dict().items())}
+        kinds = {name: "counter" for name in metrics}
+        metrics["fabric.bytes_moved"] = self.bytes_moved
+        kinds["fabric.bytes_moved"] = "counter"
+        metrics["fabric.nodes"] = len(self._nodes)
+        metrics["fabric.nodes_down"] = len(self._down)
+        return ComponentSnapshot(component=component, tenant=tenant,
+                                 metrics=metrics, kinds=kinds)
+
     # -- topology ------------------------------------------------------------
 
     def add_node(self, name: str) -> None:

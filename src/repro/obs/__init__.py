@@ -33,7 +33,9 @@ from .diff import (
 )
 from .export import (
     chrome_trace,
+    component_pid,
     fault_chain_trace,
+    iter_jsonl,
     jsonl_lines,
     prometheus_text,
     validate_chrome_trace,
@@ -41,6 +43,8 @@ from .export import (
     write_jsonl,
     write_prometheus,
 )
+from .dashboard import dashboard_html, dashboard_text
+from .fleet import ComponentSnapshot, FleetRecorder
 from .recorder import FlightRecorder
 from .registry import (
     CounterMetric,
@@ -58,10 +62,12 @@ __all__ = [
     "Alert",
     "BenchDelta",
     "CausalCapture",
+    "ComponentSnapshot",
     "CounterMetric",
     "DiffEntry",
     "DiffReport",
     "FaultLog",
+    "FleetRecorder",
     "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
@@ -80,10 +86,14 @@ __all__ = [
     "bench_regressions",
     "build_forest",
     "chrome_trace",
+    "component_pid",
     "critical_path",
+    "dashboard_html",
+    "dashboard_text",
     "diff_bench",
     "diff_runs",
     "fault_chain_trace",
+    "iter_jsonl",
     "jsonl_lines",
     "load_artifact",
     "profile",

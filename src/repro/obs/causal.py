@@ -73,6 +73,13 @@ def _exemplar_key(ex: Exemplar):
     return (-ex[0], ex[1])
 
 
+def _exemplar_from_list(ex: List[Any]) -> Exemplar:
+    """One JSON-decoded exemplar list back to its typed tuple."""
+    return (float(ex[0]), int(ex[1]), int(ex[2]), int(ex[3]),
+            str(ex[4]), int(ex[5]), int(ex[6]), int(ex[7]),
+            float(ex[8]), float(ex[9]), float(ex[10]), float(ex[11]))
+
+
 def _spectrum_sum(spectrum: Dict[float, int]) -> float:
     """Exact-order sum of a stall spectrum: ``sum(v * c)`` ascending.
 
@@ -185,6 +192,66 @@ class FaultLog:
                               replace=False)
             combined = [combined[i] for i in sorted(keep.tolist())]
         self.reservoir = combined
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """Full mergeable state as a JSON-serializable dict.
+
+        Spectra serialize as sorted ``[[value, count], ...]`` lists,
+        window keys as pairs, exemplar tuples as lists — everything
+        :meth:`from_json` needs to rebuild a log whose :meth:`merge`
+        and :meth:`aggregate` behave identically.  Floats round-trip
+        exactly (JSON carries shortest-repr doubles).
+        """
+        return {
+            "window_size": self.window_size,
+            "top_k": self.top_k,
+            "reservoir_size": self.reservoir_size,
+            "seed": self.seed,
+            "n": self.n,
+            "kinds": list(self.kinds),
+            "health_counts": list(self.health_counts),
+            "fabric_down_faults": self.fabric_down_faults,
+            "replica_faults": self.replica_faults,
+            "spectra": {hop: sorted(spec.items())
+                        for hop, spec in self.spectra.items()},
+            "pages": sorted(self.pages.items()),
+            "nodes": {node: sorted(spec.items())
+                      for node, spec in sorted(self.nodes.items())},
+            "windows": sorted((w, list(s))
+                              for w, s in self.windows.items()),
+            "exemplars": [list(ex) for ex in self.exemplars],
+            "reservoir": [list(ex) for ex in self.reservoir],
+            "reservoir_seen": self.reservoir_seen,
+        }
+
+    @classmethod
+    def from_json(cls, state: Dict[str, Any]) -> "FaultLog":
+        """Rebuild a log from :meth:`to_json` output."""
+        log = cls(window_size=int(state.get("window_size", 1 << 14)),
+                  top_k=int(state.get("top_k", 32)),
+                  reservoir_size=int(state.get("reservoir_size", 256)),
+                  seed=int(state.get("seed", 0)))
+        log.n = int(state.get("n", 0))
+        log.kinds = [int(c) for c in state.get("kinds", [0, 0])]
+        log.health_counts = [int(c) for c
+                             in state.get("health_counts", [0, 0, 0])]
+        log.fabric_down_faults = int(state.get("fabric_down_faults", 0))
+        log.replica_faults = int(state.get("replica_faults", 0))
+        for hop, pairs in state.get("spectra", {}).items():
+            log.spectra[hop] = {float(v): int(c) for v, c in pairs}
+        log.pages = {int(p): int(c) for p, c in state.get("pages", [])}
+        log.nodes = {node: {float(v): int(c) for v, c in pairs}
+                     for node, pairs in state.get("nodes", {}).items()}
+        log.windows = {int(w): list(s)
+                       for w, s in state.get("windows", [])}
+        log.exemplars = [_exemplar_from_list(ex)
+                         for ex in state.get("exemplars", [])]
+        log.reservoir = [_exemplar_from_list(ex)
+                         for ex in state.get("reservoir", [])]
+        log.reservoir_seen = int(state.get("reservoir_seen", 0))
+        return log
 
     # -- derived views ------------------------------------------------------------
 

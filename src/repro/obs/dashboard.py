@@ -1,0 +1,444 @@
+"""The cluster dashboard: one fleet artifact, rendered for humans.
+
+Two renderers over a :class:`~repro.obs.fleet.FleetRecorder`:
+
+* :func:`dashboard_text` — the terminal summary ``repro dashboard``
+  prints: overview, SLO status, per-tenant attribution, the health
+  timeline, tail anomalies, per-component key metrics.
+* :func:`dashboard_html` — a **self-contained** HTML report.  No
+  external assets: styling is one inline stylesheet on CSS custom
+  properties (with a ``prefers-color-scheme`` dark scope), sparklines
+  are inline SVG polylines over the fleet's sampled series.  Status
+  is never color-alone (every chip carries a text label), values wear
+  text tokens — the series color only ever paints marks.
+
+Both read only the fleet's derived views, so anything that can load a
+fleet artifact (the CLI, CI, a notebook) can render the dashboard.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .causal import HOPS, tail_anomalies
+from .fleet import FleetRecorder
+
+#: Metric-name prefixes surfaced in the per-component "key metrics"
+#: table (everything else stays in the collapsed full table).
+_KEY_PREFIXES = ("fetch.", "memory.", "faults.", "network.",
+                 "memnode.", "fabric.", "health.state",
+                 "replication.failovers")
+
+#: Per-component sparkline picks: first match per pattern, ≤ 4 total.
+_SPARK_PATTERNS = ("stall", "transfers", "bytes", "faults")
+
+#: Maximum rows rendered per table (the artifact keeps everything).
+_MAX_ROWS = 40
+
+
+# -- formatting helpers -------------------------------------------------------------
+
+
+def _fmt_num(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:,.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:,.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:,.2f} µs"
+    return f"{ns:,.0f} ns"
+
+
+def _key_metrics(metrics: Dict[str, Any]) -> List[Tuple[str, Any]]:
+    out = [(name, metrics[name]) for name in sorted(metrics)
+           if name.startswith(_KEY_PREFIXES)]
+    if not out:
+        out = sorted(metrics.items())[:8]
+    return out[:_MAX_ROWS]
+
+
+def _spark_series(points: Dict[str, List[Tuple[float, float]]]
+                  ) -> List[str]:
+    picked: List[str] = []
+    for pattern in _SPARK_PATTERNS:
+        for name in sorted(points):
+            if name in picked or len(points[name]) < 2:
+                continue
+            if pattern in name:
+                picked.append(name)
+                break
+    if not picked:
+        picked = [name for name in sorted(points)
+                  if len(points[name]) >= 2][:2]
+    return picked[:4]
+
+
+# -- terminal renderer --------------------------------------------------------------
+
+
+def _rule(title: str) -> str:
+    return f"--- {title} " + "-" * max(0, 60 - len(title))
+
+
+def dashboard_text(fleet: FleetRecorder) -> str:
+    """The terminal summary of one fleet artifact."""
+    lines: List[str] = []
+    log = fleet.fault_log()
+    lines.append(f"fleet {fleet.name!r}: "
+                 f"{len(fleet.members)} components "
+                 f"({', '.join(fleet.components())})")
+    if fleet.tenants():
+        lines.append(f"tenants: {', '.join(fleet.tenants())}")
+    if log is not None and log.n:
+        lines.append(f"faults captured: {log.n:,}  "
+                     f"total stall {_fmt_ns(log.total_stall_ns())}  "
+                     f"p50 {_fmt_ns(log.quantile(0.5))}  "
+                     f"p99 {_fmt_ns(log.quantile(0.99))}  "
+                     f"dominant hop {log.dominant_hop()}")
+
+    slo = fleet.slo_status()
+    if slo:
+        lines.append(_rule("SLO status"))
+        for row in slo:
+            status = "MET" if row["met"] else "VIOLATED"
+            lines.append(
+                f"  [{status:8s}] {row['component']}/{row['rule']}: "
+                f"good {row['good_fraction']:.4f} "
+                f"(objective {row['objective']:.4f}, "
+                f"alerts {row['alerts']})")
+
+    tenants = [row for row in fleet.tenant_attribution()
+               if row["faults"] or row["tenant"] != "-"]
+    if tenants:
+        lines.append(_rule("per-tenant attribution"))
+        for row in tenants:
+            lines.append(
+                f"  {row['tenant']:12s} components {row['components']:3d}  "
+                f"faults {row['faults']:10,}  "
+                f"stall {_fmt_ns(row['stall_ns']):>12s}  "
+                f"share {row['stall_share'] * 100:5.1f}%")
+
+    timeline = fleet.health_timeline()
+    if timeline:
+        lines.append(_rule("health transitions"))
+        for ts, component, state, ctx in timeline[-_MAX_ROWS:]:
+            note = ""
+            if isinstance(ctx, dict) and ctx.get("reason"):
+                note = f"  ({ctx['reason']})"
+            lines.append(f"  {_fmt_ns(ts):>12s}  {component:18s} "
+                         f"-> {state}{note}")
+
+    if log is not None and log.n:
+        anomalies = tail_anomalies(log)
+        if anomalies:
+            lines.append(_rule("tail anomalies"))
+            for a in anomalies[:10]:
+                lines.append(
+                    f"  window {a['window']:5d} "
+                    f"(seq {a['start_seq']}..{a['end_seq']}): "
+                    f"max {_fmt_ns(a['max_ns'])}, score {a['score']:.1f}, "
+                    f"dominant {a['dominant_hop']}, "
+                    f"degraded {a['degraded_faults']}")
+        hop_totals = log.hop_totals()
+        lines.append(_rule("stall by hop"))
+        for hop in HOPS:
+            lines.append(f"  {hop:5s} {_fmt_ns(hop_totals[hop]):>12s}")
+
+    for m in fleet.members:
+        lines.append(_rule(f"component {m.component}"
+                           + (f" (tenant {m.tenant})" if m.tenant else "")))
+        for name, value in _key_metrics(m.metrics)[:12]:
+            lines.append(f"  {name:40s} {_fmt_num(value):>16s}")
+    return "\n".join(lines) + "\n"
+
+
+# -- HTML renderer ------------------------------------------------------------------
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --card: #ffffff; --border: #e4e3df;
+  --text: #0b0b0b; --text-2: #52514e;
+  --series-1: #2a78d6;
+  --good: #008300; --warn: #eda100; --crit: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --card: #232322; --border: #3a3936;
+    --text: #ffffff; --text-2: #c3c2b7;
+    --series-1: #3987e5;
+    --good: #4cba57; --warn: #eda100; --crit: #e8706b;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--surface);
+       color: var(--text);
+       font: 14px/1.5 system-ui, -apple-system, sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--text-2); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { background: var(--card); border: 1px solid var(--border);
+        border-radius: 8px; padding: 10px 16px; min-width: 130px; }
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { color: var(--text-2); font-size: 12px; }
+table { border-collapse: collapse; width: 100%;
+        background: var(--card); border: 1px solid var(--border);
+        border-radius: 8px; }
+th, td { padding: 5px 10px; text-align: left;
+         border-bottom: 1px solid var(--border); }
+th { color: var(--text-2); font-weight: 500; font-size: 12px; }
+td.num, th.num { text-align: right;
+                 font-variant-numeric: tabular-nums; }
+tr:last-child td { border-bottom: none; }
+.chip { display: inline-flex; align-items: center; gap: 6px; }
+.chip::before { content: ""; width: 8px; height: 8px;
+                border-radius: 50%; background: currentColor; }
+.chip.good { color: var(--good); }
+.chip.warn { color: var(--warn); }
+.chip.crit { color: var(--crit); }
+.chip span { color: var(--text); }
+.sparks { display: flex; flex-wrap: wrap; gap: 16px; margin: 8px 0; }
+.spark { background: var(--card); border: 1px solid var(--border);
+         border-radius: 8px; padding: 8px 12px; }
+.spark .name { color: var(--text-2); font-size: 12px; }
+.spark .last { font-weight: 600; }
+svg.line polyline { stroke: var(--series-1); stroke-width: 2;
+                    fill: none; stroke-linejoin: round;
+                    stroke-linecap: round; }
+details { margin: 8px 0 20px; }
+summary { cursor: pointer; color: var(--text-2); }
+.component { margin-bottom: 28px; }
+footer { margin-top: 32px; color: var(--text-2); font-size: 12px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _sparkline(points: List[Tuple[float, float]], width: int = 220,
+               height: int = 48) -> str:
+    """One series as an inline SVG polyline (normalized to the box)."""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    pad = 3
+    coords = " ".join(
+        f"{pad + (x - x0) / xr * (width - 2 * pad):.1f},"
+        f"{height - pad - (y - y0) / yr * (height - 2 * pad):.1f}"
+        for x, y in points)
+    return (f'<svg class="line" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img">'
+            f'<polyline points="{coords}"/></svg>')
+
+
+def _table(headers: List[Tuple[str, bool]],
+           rows: List[List[str]]) -> str:
+    """A table; headers are (label, numeric) — numeric right-aligns."""
+    head = "".join(f'<th class="num">{_esc(h)}</th>' if num
+                   else f"<th>{_esc(h)}</th>" for h, num in headers)
+    body: List[str] = []
+    for row in rows:
+        cells = []
+        for (header, num), cell in zip(headers, row):
+            cls = ' class="num"' if num else ""
+            cells.append(f"<td{cls}>{cell}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _chip(kind: str, label: str) -> str:
+    return f'<span class="chip {kind}"><span>{_esc(label)}</span></span>'
+
+
+def dashboard_html(fleet: FleetRecorder,
+                   title: Optional[str] = None) -> str:
+    """Render one fleet artifact as a self-contained HTML report."""
+    log = fleet.fault_log()
+    title = title or f"Fleet dashboard — {fleet.name}"
+    parts: List[str] = [
+        "<!doctype html>", '<html lang="en">', "<head>",
+        '<meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>", "</head>",
+        '<body data-palette="#2a78d6">',
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">{len(fleet.members)} components'
+        + (f" · tenants: {_esc(', '.join(fleet.tenants()))}"
+           if fleet.tenants() else "")
+        + "</p>",
+    ]
+
+    # Overview stat tiles.
+    slo = fleet.slo_status()
+    met = sum(1 for row in slo if row["met"])
+    tiles = [("components", f"{len(fleet.members)}")]
+    if log is not None and log.n:
+        tiles += [("faults captured", f"{log.n:,}"),
+                  ("total stall", _fmt_ns(log.total_stall_ns())),
+                  ("p99 stall", _fmt_ns(log.quantile(0.99))),
+                  ("dominant hop", str(log.dominant_hop()))]
+    if slo:
+        tiles.append(("SLOs met", f"{met}/{len(slo)}"))
+    transitions = fleet.health_timeline()
+    if transitions:
+        tiles.append(("health transitions", f"{len(transitions)}"))
+    parts.append('<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for k, v in tiles) + "</div>")
+
+    # SLO status.
+    if slo:
+        parts.append("<h2>SLO status</h2>")
+        rows = []
+        for row in slo:
+            chip = (_chip("good", "MET") if row["met"]
+                    else _chip("crit", "VIOLATED"))
+            rows.append([_esc(row["component"]), _esc(row["rule"]),
+                         chip, f"{row['good_fraction']:.4f}",
+                         f"{row['objective']:.4f}",
+                         f"{row['alerts']}"])
+        parts.append(_table(
+            [("component", False), ("rule", False), ("status", False),
+             ("good fraction", True), ("objective", True),
+             ("alerts", True)], rows))
+
+    # Per-tenant attribution.
+    tenants = fleet.tenant_attribution()
+    if any(row["faults"] for row in tenants) or len(tenants) > 1:
+        parts.append("<h2>Per-tenant attribution</h2>")
+        rows = [[_esc(row["tenant"]), f"{row['components']}",
+                 f"{row['faults']:,}", f"{row['remote_fetches']:,}",
+                 _esc(_fmt_ns(row["stall_ns"])),
+                 f"{row['stall_share'] * 100:.1f}%"]
+                for row in tenants]
+        parts.append(_table(
+            [("tenant", False), ("components", True), ("faults", True),
+             ("remote fetches", True), ("stall", True),
+             ("share", True)], rows))
+
+    # Health-transition timeline.
+    if transitions:
+        parts.append("<h2>Health timeline</h2>")
+        rows = []
+        for ts, component, state, ctx in transitions[-_MAX_ROWS:]:
+            chip_kind = {"HEALTHY": "good", "DEGRADED": "crit",
+                         "RECOVERING": "warn"}.get(state, "warn")
+            note = ""
+            if isinstance(ctx, dict) and ctx.get("reason"):
+                note = _esc(ctx["reason"])
+            rows.append([_esc(_fmt_ns(ts)), _esc(component),
+                         _chip(chip_kind, state), note])
+        parts.append(_table(
+            [("time", True), ("component", False), ("state", False),
+             ("reason", False)], rows))
+
+    # Tail anomalies.
+    if log is not None and log.n:
+        anomalies = tail_anomalies(log)
+        if anomalies:
+            parts.append("<h2>Tail anomalies</h2>")
+            rows = [[f"{a['window']}",
+                     f"{a['start_seq']:,}..{a['end_seq']:,}",
+                     _esc(_fmt_ns(a["max_ns"])), f"{a['score']:.1f}",
+                     _esc(a["dominant_hop"]), f"{a['count']:,}",
+                     f"{a['degraded_faults']:,}"]
+                    for a in anomalies[:_MAX_ROWS]]
+            parts.append(_table(
+                [("window", True), ("seq range", False),
+                 ("max stall", True), ("MAD score", True),
+                 ("dominant hop", False), ("faults", True),
+                 ("degraded", True)], rows))
+
+    # Per-component sections.
+    for m in fleet.members:
+        head = _esc(m.component)
+        if m.tenant:
+            head += f' <span class="sub">(tenant {_esc(m.tenant)})</span>'
+        parts.append(f'<div class="component"><h2>{head}</h2>')
+        spark_names = _spark_series(m.points)
+        if spark_names:
+            sparks = []
+            for name in spark_names:
+                pts = m.points[name]
+                last = pts[-1][1]
+                sparks.append(
+                    f'<div class="spark"><div class="name">{_esc(name)}'
+                    f'</div>{_sparkline(pts)}'
+                    f'<div class="last">{_esc(_fmt_num(last))}</div>'
+                    f"</div>")
+            parts.append('<div class="sparks">' + "".join(sparks)
+                         + "</div>")
+        key_rows = [[_esc(name), _esc(_fmt_num(value))]
+                    for name, value in _key_metrics(m.metrics)]
+        if key_rows:
+            parts.append(_table([("metric", False), ("value", True)],
+                                key_rows))
+        rest = [[_esc(name), _esc(_fmt_num(m.metrics[name]))]
+                for name in sorted(m.metrics)]
+        if rest:
+            parts.append(
+                f"<details><summary>all {len(rest)} metrics</summary>"
+                + _table([("metric", False), ("value", True)], rest)
+                + "</details>")
+        parts.append("</div>")
+
+    parts.append("<footer>generated by repro dashboard — "
+                 "self-contained report, no external assets</footer>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(fleet: FleetRecorder, path: str,
+                    title: Optional[str] = None) -> str:
+    """Write the HTML dashboard; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(dashboard_html(fleet, title=title))
+    return path
+
+
+def main(argv=None) -> int:
+    """Render a fleet artifact: ``python -m repro.obs.dashboard f.json``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Render a fleet artifact as a dashboard.")
+    parser.add_argument("artifact", help="fleet artifact JSON path")
+    parser.add_argument("--html", help="write the HTML report here")
+    args = parser.parse_args(argv)
+    try:
+        fleet = FleetRecorder.load(args.artifact)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.artifact}: unreadable: {exc}")
+        return 1
+    print(dashboard_text(fleet), end="")
+    if args.html:
+        write_dashboard(fleet, args.html)
+        print(f"wrote {args.html}")
+    return 0
+
+
+if __name__ == "__main__":      # pragma: no cover
+    raise SystemExit(main())

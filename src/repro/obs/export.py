@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from .registry import HistogramMetric, MetricsRegistry
 
@@ -41,9 +41,29 @@ _FAULT_RUNTIME_TID = 3
 _FAULT_FABRIC_TID = 4
 _FAULT_MEMNODE_TID = 5
 
+#: FNV-1a 32-bit parameters (pid hashing).
+_FNV_OFFSET = 0x811c9dc5
+_FNV_PRIME = 0x01000193
+
+
+def component_pid(label: str) -> int:
+    """Deterministic Chrome pid for a component identity label.
+
+    FNV-1a over the UTF-8 label, folded to a positive 31-bit int (pid
+    0 is reserved, so an exact-zero hash maps to 1).  A pure function
+    of the label: the same component gets the same pid in every
+    export, every run, every process — merged fleet traces never
+    renumber tracks between runs.
+    """
+    h = _FNV_OFFSET
+    for byte in label.encode("utf-8"):
+        h = ((h ^ byte) * _FNV_PRIME) & 0xffffffff
+    return (h & 0x7fffffff) or 1
+
 
 def chrome_trace(events: List[Dict[str, Any]],
-                 process_name: str = "kona-sim") -> Dict[str, Any]:
+                 process_name: str = "kona-sim",
+                 pid: Optional[int] = None) -> Dict[str, Any]:
     """Build a Chrome trace-event JSON object from tracer events.
 
     Tracer timestamps are simulated ns; the trace-event format wants
@@ -52,18 +72,26 @@ def chrome_trace(events: List[Dict[str, Any]],
     Perfetto labels them instead of showing bare pid/tid numbers;
     counter (``C``) events land on their own track, keeping the gauge
     graphs from interleaving with the span flame graph.
+
+    The process id defaults to :func:`component_pid` of the process
+    name, so every export of the same component lands on the same
+    track; events that pre-assigned their own ``pid`` (fleet fault
+    chains spanning components) keep it.
     """
+    if pid is None:
+        pid = component_pid(process_name)
     out: List[Dict[str, Any]] = [
-        {"name": "process_name", "ph": "M", "pid": 1, "tid": _SPAN_TID,
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": _SPAN_TID,
          "ts": 0, "args": {"name": process_name}},
-        {"name": "thread_name", "ph": "M", "pid": 1, "tid": _SPAN_TID,
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": _SPAN_TID,
          "ts": 0, "args": {"name": "sim timeline (spans)"}},
-        {"name": "thread_name", "ph": "M", "pid": 1, "tid": _COUNTER_TID,
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": _COUNTER_TID,
          "ts": 0, "args": {"name": "gauge samples"}},
     ]
     for event in events:
         converted = dict(event)
-        converted["pid"] = 1
+        if "pid" not in event:
+            converted["pid"] = pid
         # Events that already chose a track (causal fault chains) keep
         # it; tracer spans and counters land on the default tracks.
         if "tid" not in event:
@@ -127,16 +155,17 @@ def fault_chain_events(log, top: int = 16) -> List[Dict[str, Any]]:
 def fault_chain_trace(log, top: int = 16,
                       process_name: str = "kona-faults") -> Dict[str, Any]:
     """A complete Chrome trace payload for the slowest fault chains."""
+    pid = component_pid(process_name)
     payload = chrome_trace(fault_chain_events(log, top=top),
-                           process_name=process_name)
+                           process_name=process_name, pid=pid)
     payload["traceEvents"].extend([
-        {"name": "thread_name", "ph": "M", "pid": 1,
+        {"name": "thread_name", "ph": "M", "pid": pid,
          "tid": _FAULT_RUNTIME_TID, "ts": 0,
          "args": {"name": "fault chains: runtime/directory"}},
-        {"name": "thread_name", "ph": "M", "pid": 1,
+        {"name": "thread_name", "ph": "M", "pid": pid,
          "tid": _FAULT_FABRIC_TID, "ts": 0,
          "args": {"name": "fault chains: fabric"}},
-        {"name": "thread_name", "ph": "M", "pid": 1,
+        {"name": "thread_name", "ph": "M", "pid": pid,
          "tid": _FAULT_MEMNODE_TID, "ts": 0,
          "args": {"name": "fault chains: memnode/replication"}},
     ])
@@ -271,35 +300,52 @@ def write_prometheus(recorder, path: str) -> str:
 # -- JSONL -----------------------------------------------------------------------
 
 
-def jsonl_lines(recorder) -> List[str]:
-    """The recorder's full story as one JSON object per line.
+#: Stream-writer flush cadence: lines between explicit flushes.
+_JSONL_FLUSH_EVERY = 4096
+
+
+def iter_jsonl(recorder) -> Iterator[str]:
+    """The recorder's full story, one JSON object line at a time.
 
     Event lines carry ``{"type": "event", ...}``; sampler rows come as
     ``{"type": "sample", "ts": ..., "gauges": {...}}``; the final
     metric values close the log as ``{"type": "metric", ...}`` lines.
+    A generator, so writers can stream records to disk without ever
+    materializing the full log in memory.
     """
-    lines: List[str] = []
     for event in recorder.tracer.events:
-        lines.append(json.dumps({"type": "event", **event},
-                                sort_keys=True, default=str))
+        yield json.dumps({"type": "event", **event},
+                         sort_keys=True, default=str)
     if recorder.sampler is not None:
         for ts, row in recorder.sampler.samples:
-            lines.append(json.dumps(
+            yield json.dumps(
                 {"type": "sample", "ts": ts, "gauges": row},
-                sort_keys=True))
+                sort_keys=True)
     for name, labels, value in recorder.registry.samples():
-        lines.append(json.dumps(
+        yield json.dumps(
             {"type": "metric", "name": name, "labels": dict(labels),
-             "value": value}, sort_keys=True, default=str))
-    return lines
+             "value": value}, sort_keys=True, default=str)
 
 
-def write_jsonl(recorder, path: str) -> str:
-    """Write the recorder's JSONL event log."""
+def jsonl_lines(recorder) -> List[str]:
+    """All JSONL lines as a list (see :func:`iter_jsonl`)."""
+    return list(iter_jsonl(recorder))
+
+
+def write_jsonl(recorder, path: str,
+                flush_every: int = _JSONL_FLUSH_EVERY) -> str:
+    """Stream the recorder's JSONL event log to disk.
+
+    Lines are generated one at a time and flushed to the OS every
+    ``flush_every`` lines, bounding writer memory to one line plus the
+    stdio buffer no matter how many events the recorder holds.
+    """
     with open(path, "w") as fh:
-        for line in jsonl_lines(recorder):
+        for i, line in enumerate(iter_jsonl(recorder), 1):
             fh.write(line)
             fh.write("\n")
+            if i % flush_every == 0:
+                fh.flush()
     return path
 
 

@@ -26,7 +26,16 @@ class FlightRecorder:
     def __init__(self, clock: Optional[SimClock] = None,
                  tracing: bool = False,
                  sample_interval_ns: Optional[float] = None,
-                 max_events: int = 500_000) -> None:
+                 max_events: int = 500_000,
+                 component: str = "runtime",
+                 tenant: Optional[str] = None) -> None:
+        # Component identity: who this telemetry belongs to in a fleet
+        # view ("runtime:shard3", "memnode:5", "fabric", ...), plus an
+        # optional tenant label for per-tenant attribution.  Pure
+        # labels — they cost nothing on the hot path and are only read
+        # at merge/export time.
+        self.component = component
+        self.tenant = tenant
         self.clock = clock if clock is not None else SimClock()
         self.registry = MetricsRegistry(clock=self.clock)
         self.tracer = Tracer(self.clock, enabled=tracing,
@@ -72,7 +81,8 @@ class FlightRecorder:
 
     def chrome_trace(self) -> dict:
         """The span timeline as a Chrome trace-event object."""
-        return export.chrome_trace(self.tracer.events)
+        return export.chrome_trace(self.tracer.events,
+                                   process_name=self.component)
 
     def write_chrome_trace(self, path: str) -> str:
         """Write the Chrome trace JSON; returns the path."""

@@ -191,6 +191,36 @@ class HistogramMetric:
             self.max = other.max
         return self
 
+    def state(self) -> Dict[str, Any]:
+        """The full histogram state as a JSON-serializable dict.
+
+        Round-trips exactly through :meth:`from_state`: buckets are
+        ``[exponent, count]`` pairs (integer exponents, so no float
+        re-bucketing happens on load) and ``sum``/``min``/``max`` are
+        carried verbatim — a restored histogram reports the same
+        counts, quantiles and mean bit for bit.  Infinities (the
+        empty-histogram min/max sentinels) are encoded as None.
+        """
+        def _num(v: float) -> Any:
+            return None if v in (math.inf, -math.inf) else v
+        return {"buckets": [[exp, c] for exp, c
+                            in sorted(self._buckets.items())],
+                "count": self.count, "sum": self.sum,
+                "min": _num(self.min), "max": _num(self.max)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "HistogramMetric":
+        """Rebuild a histogram from :meth:`state` output."""
+        hist = cls()
+        hist._buckets = {int(exp): int(c)
+                         for exp, c in state.get("buckets", [])}
+        hist.count = int(state.get("count", 0))
+        hist.sum = float(state.get("sum", 0.0))
+        lo, hi = state.get("min"), state.get("max")
+        hist.min = math.inf if lo is None else float(lo)
+        hist.max = -math.inf if hi is None else float(hi)
+        return hist
+
     @property
     def p50(self) -> float:
         """Median estimate."""
@@ -356,6 +386,25 @@ class MetricsRegistry:
                 continue
             for labels, child in family.children():
                 out.append((family.name, labels, child.value))
+        return out
+
+    def flat_samples(self, numeric_only: bool = False) -> Dict[str, Any]:
+        """Counter/gauge samples flattened to ``name{k=v,...}`` keys.
+
+        The key shape matches the sampler's rows (and therefore the
+        tsdb series names), so final registry values and sampled
+        series join on the same identifiers.  ``numeric_only`` drops
+        non-numeric gauges (and bools), which is exactly the sampler's
+        filter.  Insertion order follows registration order.
+        """
+        out: Dict[str, Any] = {}
+        for name, labels, value in self.samples():
+            if numeric_only and (not isinstance(value, (int, float))
+                                 or isinstance(value, bool)):
+                continue
+            key = name if not labels else (
+                name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}")
+            out[key] = value
         return out
 
     def sections(self) -> Dict[str, Dict[str, Any]]:

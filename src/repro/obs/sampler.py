@@ -61,13 +61,8 @@ class Sampler:
 
     def sample(self) -> Dict[str, float]:
         """Snapshot all numeric gauges right now (unconditionally)."""
-        row: Dict[str, float] = {}
-        for name, labels, value in self.registry.samples():
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                continue
-            key = name if not labels else (
-                name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}")
-            row[key] = float(value)
+        row = {key: float(value) for key, value
+               in self.registry.flat_samples(numeric_only=True).items()}
         self.samples.append((self.clock.now, row))
         if self.tsdb is not None:
             self.tsdb.append_row(self.clock.now, row)

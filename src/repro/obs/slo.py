@@ -256,6 +256,25 @@ class SLOEngine:
                         good_fraction >= rule.objective))
         return out
 
+    def report(self) -> List[Dict[str, Any]]:
+        """JSON-shaped verdicts for artifacts and dashboards.
+
+        One dict per rule: name, kind, metric, objective, measured
+        good fraction, met flag, and the count of alerts the rule
+        fired — everything a fleet artifact needs to render SLO
+        status without the engine.
+        """
+        fired: Dict[str, int] = {}
+        for alert in self.alerts:
+            fired[alert.rule] = fired.get(alert.rule, 0) + 1
+        by_name = {rule.name: rule for rule in self.rules}
+        return [{"rule": name, "kind": by_name[name].kind,
+                 "metric": by_name[name].metric,
+                 "objective": by_name[name].objective,
+                 "good_fraction": good_fraction, "met": met,
+                 "alerts": fired.get(name, 0)}
+                for name, good_fraction, met in self.verdicts()]
+
     # -- health-machine integration -----------------------------------------------
 
     def attach(self, health: Any) -> None:

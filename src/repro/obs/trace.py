@@ -198,6 +198,30 @@ class Tracer:
         self._record({"name": name, "cat": "counter", "ph": "C",
                       "ts": self._now(), "args": dict(values)})
 
+    def flow(self, name: str, flow_id: int, phase: str = "s",
+             cat: str = "flow", ts: Optional[float] = None,
+             **args: Any) -> None:
+        """Record a flow event (Chrome ``s``/``t``/``f`` arrows).
+
+        Flow events with the same ``flow_id`` render as arrows between
+        the enclosing slices across tracks — the cross-component
+        correlation primitive.  ``phase`` is ``s`` (start), ``t``
+        (step) or ``f`` (finish); ``ts`` overrides the virtual clock
+        when replaying a known timeline (e.g. fleet fault chains).
+        """
+        if not self.enabled:
+            return
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, got {phase!r}")
+        event: Event = {"name": name, "cat": cat, "ph": phase,
+                        "ts": self._now() if ts is None else ts,
+                        "id": int(flow_id)}
+        if phase == "f":
+            event["bp"] = "e"
+        if args:
+            event["args"] = args
+        self._record(event)
+
 
 def traced(name: Optional[str] = None, cat: str = "",
            attr: str = "tracer") -> Callable:

@@ -70,7 +70,8 @@ class TimeSeriesStore:
             self.append(ts, name, value)
 
     def merge(self, other: "TimeSeriesStore",
-              base_ns: float = 0.0) -> "TimeSeriesStore":
+              base_ns: float = 0.0,
+              prefix: Optional[str] = None) -> "TimeSeriesStore":
         """Fold another store's series into this one; returns self.
 
         ``base_ns`` realigns the other store's timeline: every one of
@@ -83,11 +84,18 @@ class TimeSeriesStore:
         have recorded, so merged and monolithic stores compare equal
         via :meth:`as_dict`.  The per-series monotonic-append
         invariant is preserved by construction.
+
+        ``prefix`` renames every incoming series to
+        ``f"{prefix}{name}"`` — the fleet view uses a component label
+        prefix (``runtime:shard3/…``) to keep each producer's series
+        distinct; leave it None for the exact cross-component merge.
         """
         if not isinstance(other, TimeSeriesStore):
             raise ConfigError(f"cannot merge TimeSeriesStore with "
                               f"{type(other).__name__}")
         for name, points in other._series.items():
+            if prefix is not None:
+                name = prefix + name
             shifted = ([(ts + base_ns, v) for ts, v in points]
                        if base_ns else list(points))
             mine = self._series.get(name)
